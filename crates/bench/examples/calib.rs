@@ -1,0 +1,52 @@
+//! Workload calibration probe.
+//!
+//! Prints, for each benchmark profile on the baseline (`No DMR`)
+//! system, the per-privilege IPCs and the user/OS cycle intervals they
+//! imply — the quantities the profiles are calibrated against
+//! (Table 2 of the paper) — plus the Table 2 targets for comparison.
+//!
+//! Used whenever a simulator change shifts baseline IPC: rerun this,
+//! then set each profile's `mean_user_insts` / `mean_os_insts` to
+//! `target_cycles x measured_phase_ipc` (see `EXPERIMENTS.md`).
+//!
+//! ```sh
+//! cargo run --release -p mmm-bench --example calib
+//! ```
+
+use mmm_core::{Experiment, Workload};
+use mmm_workload::Benchmark;
+
+#[allow(clippy::field_reassign_with_default)]
+fn main() {
+    let mut e = Experiment::default();
+    e.warmup = 2_000_000;
+    e.measure = 4_000_000;
+    e.seeds = vec![1];
+    println!("bench     ipc_user ipc_os  ->  user_cycles os_cycles   (Table 2 targets)");
+    let targets = [
+        (59_000u64, 98_000u64),
+        (218_000, 52_000),
+        (210_000, 35_000),
+        (312_000, 47_000),
+        (554_000, 126_000),
+        (65_000, 220_000),
+    ];
+    for (b, (tu, to)) in Benchmark::all().into_iter().zip(targets) {
+        let base = e.run_workload(Workload::NoDmr(b)).expect("baseline run");
+        let r = &base.reports[0];
+        let user_cycles = r.cores.active_cycles - r.cores.os_cycles;
+        let ipc_u = r.cores.commits_user as f64 / user_cycles.max(1) as f64;
+        let ipc_o = r.cores.commits_os as f64 / r.cores.os_cycles.max(1) as f64;
+        let p = b.profile();
+        println!(
+            "{:9} {:.3}    {:.3}   ->  {:>7.0}k    {:>6.0}k    (paper {}k / {}k)",
+            b.name(),
+            ipc_u,
+            ipc_o,
+            p.mean_user_insts as f64 / ipc_u / 1e3,
+            p.mean_os_insts as f64 / ipc_o / 1e3,
+            tu / 1000,
+            to / 1000,
+        );
+    }
+}

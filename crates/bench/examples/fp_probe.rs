@@ -1,0 +1,35 @@
+//! Reunion-band probe.
+//!
+//! Prints each workload's Reunion IPC and throughput normalized to
+//! `No DMR 2X`, against the paper's Figure 5 bands — the quick check
+//! used during calibration (single seed, shorter runs than the full
+//! `fig5` harness).
+//!
+//! ```sh
+//! cargo run --release -p mmm-bench --example fp_probe
+//! ```
+
+use mmm_core::{Experiment, Workload};
+use mmm_workload::Benchmark;
+#[allow(clippy::field_reassign_with_default)]
+fn main() {
+    for b in [
+        Benchmark::Pmake,
+        Benchmark::Zeus,
+        Benchmark::Apache,
+        Benchmark::Oltp,
+    ] {
+        let mut e = Experiment::default();
+        e.warmup = 1_500_000;
+        e.measure = 3_000_000;
+        e.seeds = vec![1];
+        let r2x = e.run_workload(Workload::NoDmr2x(b)).unwrap();
+        let rre = e.run_workload(Workload::ReunionDmr(b)).unwrap();
+        println!(
+            "{:8} reunion_norm={:.3} (band 0.52-0.78) tp={:.3} (band 0.25-0.33)",
+            b.name(),
+            rre.avg_user_ipc().0 / r2x.avg_user_ipc().0,
+            rre.throughput().0 / r2x.throughput().0
+        );
+    }
+}

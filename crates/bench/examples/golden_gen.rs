@@ -1,0 +1,76 @@
+//! Generates the pinned values for `tests/golden.rs`. Run after any
+//! intentional model change and paste the output into the test.
+use mmm_core::{MixedPolicy, System, Workload};
+use mmm_types::SystemConfig;
+use mmm_workload::Benchmark;
+
+fn commits(w: Workload, seed: u64, warmup: u64, measure: u64, ts: u64) -> (u64, u64) {
+    let mut cfg = SystemConfig::default();
+    cfg.virt.timeslice_cycles = ts;
+    let mut sys = System::new(&cfg, w, seed).unwrap();
+    let r = sys.run_measured(warmup, measure);
+    (
+        r.total_user_commits(),
+        r.vcpus.iter().map(|v| v.os_commits).sum(),
+    )
+}
+
+fn main() {
+    println!(
+        "no_dmr_2x_oltp: {:?}",
+        commits(
+            Workload::NoDmr2x(Benchmark::Oltp),
+            1,
+            100_000,
+            400_000,
+            3_000_000
+        )
+    );
+    println!(
+        "reunion_apache: {:?}",
+        commits(
+            Workload::ReunionDmr(Benchmark::Apache),
+            7,
+            100_000,
+            400_000,
+            3_000_000
+        )
+    );
+    println!(
+        "mmm_tp_pmake: {:?}",
+        commits(
+            Workload::Consolidated {
+                bench: Benchmark::Pmake,
+                policy: MixedPolicy::MmmTp
+            },
+            3,
+            100_000,
+            500_000,
+            150_000
+        )
+    );
+    println!(
+        "single_os_zeus: {:?}",
+        commits(
+            Workload::SingleOsMixed(Benchmark::Zeus),
+            11,
+            100_000,
+            400_000,
+            3_000_000
+        )
+    );
+    println!(
+        "overcommit_pgoltp: {:?}",
+        commits(
+            Workload::Overcommitted {
+                bench: Benchmark::Pgoltp,
+                reliable: 3,
+                perf: 12
+            },
+            5,
+            100_000,
+            400_000,
+            200_000
+        )
+    );
+}

@@ -1,0 +1,210 @@
+//! Design-choice ablations called out in `DESIGN.md`.
+//!
+//! Four sweeps, each isolating one knob the paper fixes:
+//!
+//! * `--pab`        PAB size (paper: 128 entries = 512 MB reach)
+//! * `--fingerprint` fingerprint interval (instructions per exchange)
+//! * `--timeslice`  gang timeslice (paper: 3 M cycles = 1 ms)
+//! * `--consistency` SC vs TSO under Reunion (Smolens: SC costs ~30%)
+//! * `--noc`        optional L3-bank contention vs the Fig 5a uplift
+//!
+//! With no flag, all five run.
+
+use mmm_bench::{banner, experiment_sized};
+use mmm_core::report::print_table;
+use mmm_core::{MixedPolicy, RunResult, Workload};
+use mmm_types::config::{Consistency, PabLookup};
+use mmm_types::VmId;
+use mmm_workload::Benchmark;
+
+fn perf_ipc(r: &RunResult) -> f64 {
+    r.metric(|x| {
+        let vcpus: Vec<_> = x.vcpus.iter().filter(|v| v.vm != VmId(0)).collect();
+        vcpus
+            .iter()
+            .map(|v| v.user_commits as f64 / x.cycles as f64)
+            .sum::<f64>()
+            / vcpus.len().max(1) as f64
+    })
+    .0
+}
+
+fn pab_sweep() {
+    let bench = Benchmark::Oltp;
+    let mut rows = Vec::new();
+    for entries in [16u32, 32, 64, 128, 256] {
+        let mut e = experiment_sized(500_000, 1_500_000);
+        e.cfg.virt.timeslice_cycles = 300_000;
+        e.cfg.pab.entries = entries;
+        e.cfg.pab.lookup = PabLookup::Serial; // makes miss cost visible
+        let run = e
+            .run_workload(Workload::Consolidated {
+                bench,
+                policy: MixedPolicy::MmmTp,
+            })
+            .expect("pab run");
+        let miss_ratio = run
+            .metric(|r| {
+                if r.pab.lookups == 0 {
+                    0.0
+                } else {
+                    r.pab.misses as f64 / r.pab.lookups as f64
+                }
+            })
+            .0;
+        rows.push(vec![
+            entries.to_string(),
+            format!("{} MB", entries as u64 * 4),
+            format!("{:.4}", perf_ipc(&run)),
+            format!("{:.4}", miss_ratio),
+        ]);
+    }
+    print_table(
+        "Ablation: PAB size (paper fixes 128 entries; serial lookup; OLTP MMM-TP)",
+        &["entries", "reach", "perf-guest IPC", "PAB miss ratio"],
+        &rows,
+    );
+}
+
+fn fingerprint_sweep() {
+    let bench = Benchmark::Oltp;
+    let mut rows = Vec::new();
+    for interval in [1u32, 4, 8, 16, 32] {
+        let mut e = experiment_sized(500_000, 1_500_000);
+        e.cfg.reunion.fingerprint_interval = interval;
+        let run = e
+            .run_workload(Workload::ReunionDmr(bench))
+            .expect("fingerprint run");
+        let (ipc, ci) = run.avg_user_ipc();
+        let wait = run
+            .metric(|r| r.cores.check_wait_cycles as f64 / r.cores.active_cycles as f64)
+            .0;
+        rows.push(vec![
+            interval.to_string(),
+            format!("{ipc:.4} ±{ci:.4}"),
+            format!("{wait:.3}"),
+        ]);
+    }
+    print_table(
+        "Ablation: fingerprint interval (instructions summarized per exchange; paper/Reunion: several)",
+        &["interval", "Reunion user IPC", "check-wait fraction"],
+        &rows,
+    );
+}
+
+fn timeslice_sweep() {
+    let bench = Benchmark::Apache;
+    let mut rows = Vec::new();
+    for ts in [100_000u64, 300_000, 1_000_000, 3_000_000] {
+        let mut e = experiment_sized(ts.max(500_000), (4 * ts).max(2_000_000));
+        e.cfg.virt.timeslice_cycles = ts;
+        let runs = e
+            .run_many(&[
+                Workload::Consolidated {
+                    bench,
+                    policy: MixedPolicy::DmrBase,
+                },
+                Workload::Consolidated {
+                    bench,
+                    policy: MixedPolicy::MmmTp,
+                },
+            ])
+            .expect("timeslice runs");
+        let base = runs[0].throughput().0;
+        let tp = runs[1].throughput().0;
+        let leave = runs[1].metric(|r| r.transitions.leave.mean()).0;
+        rows.push(vec![
+            format!("{:.1}k", ts as f64 / 1e3),
+            format!("{:.2}x", tp / base),
+            format!("{:.1}k", leave / 1e3),
+        ]);
+    }
+    print_table(
+        "Ablation: gang timeslice (paper: 3M cycles = 1ms; MMM-TP gain vs DMR Base, Apache)",
+        &["timeslice", "MMM-TP/DMR-Base throughput", "leave-DMR cost"],
+        &rows,
+    );
+}
+
+fn consistency_ablation() {
+    let mut rows = Vec::new();
+    for bench in [Benchmark::Apache, Benchmark::Oltp, Benchmark::Pmake] {
+        let mut row = vec![bench.name().to_string()];
+        for consistency in [Consistency::Sc, Consistency::Tso] {
+            let mut e = experiment_sized(1_000_000, 2_000_000);
+            e.cfg.consistency = consistency;
+            let no = e.run_workload(Workload::NoDmr(bench)).expect("baseline");
+            let re = e
+                .run_workload(Workload::ReunionDmr(bench))
+                .expect("reunion");
+            let penalty = 1.0 - re.avg_user_ipc().0 / no.avg_user_ipc().0;
+            row.push(format!("{:.1}%", penalty * 100.0));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Ablation: Reunion penalty vs No DMR under SC and TSO \
+         (paper/Smolens: SC costs Reunion ~30% extra on average)",
+        &["bench", "SC penalty", "TSO penalty"],
+        &rows,
+    );
+}
+
+fn noc_sweep() {
+    // Probes EXPERIMENTS.md deviation #1: with the optional
+    // L3-bank/interconnect contention model enabled, does the paper's
+    // `No DMR` capacity-pressure uplift over `No DMR 2X` appear?
+    let mut rows = Vec::new();
+    for bench in [Benchmark::Oltp, Benchmark::Apache] {
+        for occupancy in [0u32, 2, 4, 8] {
+            let mut e = experiment_sized(1_500_000, 3_000_000);
+            e.cfg.mem.bank_occupancy_cycles = occupancy;
+            let runs = e
+                .run_many(&[Workload::NoDmr2x(bench), Workload::NoDmr(bench)])
+                .expect("noc runs");
+            let uplift = runs[1].avg_user_ipc().0 / runs[0].avg_user_ipc().0;
+            let queue = runs[0]
+                .metric(|r| r.mem.bank_queue_cycles as f64 / r.cores.commits().max(1) as f64)
+                .0;
+            rows.push(vec![
+                bench.name().to_string(),
+                occupancy.to_string(),
+                format!("{uplift:.3}"),
+                format!("{queue:.2}"),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation: L3-bank contention (paper's Fig 5a No-DMR uplift: 1.08-1.15; \
+         default model = occupancy 0)",
+        &[
+            "bench",
+            "bank occupancy (cyc)",
+            "No DMR / No DMR 2X IPC",
+            "2X bank-queue cyc/instr",
+        ],
+        &rows,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let e = experiment_sized(0, 0);
+    banner("Ablations", &e);
+    if all || args.iter().any(|a| a == "--pab") {
+        pab_sweep();
+    }
+    if all || args.iter().any(|a| a == "--fingerprint") {
+        fingerprint_sweep();
+    }
+    if all || args.iter().any(|a| a == "--timeslice") {
+        timeslice_sweep();
+    }
+    if all || args.iter().any(|a| a == "--consistency") {
+        consistency_ablation();
+    }
+    if all || args.iter().any(|a| a == "--noc") {
+        noc_sweep();
+    }
+}

@@ -1,0 +1,83 @@
+//! §5.2 (text experiment): effect of PAB lookup organization.
+//!
+//! Compares parallel PAB/L2 lookup against a 2-cycle serial PAB
+//! lookup for the performance guest of an MMM-TP consolidated server.
+//! Only store write-throughs are stalled by the serial lookup, so the
+//! impact arrives through instruction-window pressure.
+//!
+//! Paper: serial lookups reduce performance-mode IPC by 3–10%; the
+//! reliable application does not use the PAB and is unchanged.
+
+use mmm_bench::{banner, experiment_sized};
+use mmm_core::report::{fmt_ci, print_table};
+use mmm_core::{MixedPolicy, RunResult, Workload};
+use mmm_types::config::PabLookup;
+use mmm_types::VmId;
+use mmm_workload::Benchmark;
+
+fn perf_ipc(r: &RunResult) -> f64 {
+    r.metric(|x| {
+        let vcpus: Vec<_> = x
+            .vcpus
+            .iter()
+            .filter(|v| v.vm == VmId(1) || v.vm == VmId(2))
+            .collect();
+        vcpus
+            .iter()
+            .map(|v| v.user_commits as f64 / x.cycles as f64)
+            .sum::<f64>()
+            / vcpus.len().max(1) as f64
+    })
+    .0
+}
+
+fn main() {
+    let mut parallel = experiment_sized(1_000_000, 4_000_000);
+    parallel.cfg.virt.timeslice_cycles = 500_000;
+    let mut serial = parallel.clone();
+    serial.cfg.pab.lookup = PabLookup::Serial;
+    banner("PAB lookup organization (§5.2)", &parallel);
+
+    // Run all parallel-lookup configurations concurrently, then all
+    // serial ones (the two experiments differ in machine config, so
+    // they cannot share one run_many call).
+    let workloads: Vec<Workload> = Benchmark::all()
+        .into_iter()
+        .map(|bench| Workload::Consolidated {
+            bench,
+            policy: MixedPolicy::MmmTp,
+        })
+        .collect();
+    let par_runs = parallel.run_many(&workloads).expect("parallel runs");
+    let ser_runs = serial.run_many(&workloads).expect("serial runs");
+
+    let mut rows = Vec::new();
+    for ((bench, rp), rs) in Benchmark::all().into_iter().zip(&par_runs).zip(&ser_runs) {
+        let (p, s) = (perf_ipc(rp), perf_ipc(rs));
+        let delta = (1.0 - s / p) * 100.0;
+        let rel_p = rp.vm_ipc(VmId(0));
+        let rel_s = rs.vm_ipc(VmId(0));
+        rows.push(vec![
+            bench.name().to_string(),
+            format!("{p:.4}"),
+            format!("{s:.4}"),
+            format!("{delta:+.1}%"),
+            format!(
+                "{} -> {}",
+                fmt_ci(rel_p.0, rel_p.1),
+                fmt_ci(rel_s.0, rel_s.1)
+            ),
+        ]);
+    }
+    print_table(
+        "Serial vs parallel PAB lookup (paper: serial costs the perf app 3-10% IPC; reliable app unchanged)",
+        &[
+            "bench",
+            "perf IPC (parallel)",
+            "perf IPC (serial)",
+            "serial penalty",
+            "reliable IPC (par -> ser)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,72 @@
+//! §5.3 end-to-end: mode-switch frequency vs mixed-mode overhead.
+//!
+//! The paper *estimates* single-OS mixed-mode overhead from Table 1's
+//! switch costs and Table 2's switch intervals ("~13k cycles per
+//! round trip ⇒ 8% for Apache, <5% for the rest, and even less for
+//! SPEC-like applications"). This harness measures it end to end: a
+//! synthetic compute-bound application's OS-entry interval is swept
+//! from very frequent to SPEC-rare, and the single-OS mixed system is
+//! compared against the all-performance baseline (switching cost) and
+//! the always-DMR system (what mixing buys).
+
+use mmm_bench::{banner, experiment_sized};
+use mmm_core::report::{fmt_cycles, print_table};
+use mmm_core::{RunResult, Workload};
+use mmm_workload::Benchmark;
+
+fn tp(run: &RunResult) -> f64 {
+    run.metric(|r| r.total_user_commits() as f64 / r.cycles as f64)
+        .0
+}
+
+fn main() {
+    let e = experiment_sized(1_000_000, 4_000_000);
+    banner("Switch-frequency sweep (§5.3)", &e);
+
+    let mut rows = Vec::new();
+    for user_kilo in [25u16, 50, 125, 250, 500, 1500] {
+        let bench = Benchmark::Synthetic {
+            user_kilo_insts: user_kilo,
+        };
+        let runs = e
+            .run_many(&[
+                Workload::NoDmr(bench),
+                Workload::SingleOsMixed(bench),
+                Workload::ReunionDmr(bench),
+            ])
+            .expect("sweep runs");
+        let (perf, mixed, dmr) = (tp(&runs[0]), tp(&runs[1]), tp(&runs[2]));
+        let r = &runs[1].reports[0];
+        let round_trip = r.phase_user_mean + r.phase_os_mean;
+        let switch_cost = r.transitions.enter.mean() + r.transitions.leave.mean();
+        let predicted = switch_cost / (round_trip + switch_cost) * 100.0;
+        rows.push(vec![
+            format!("{user_kilo}k"),
+            fmt_cycles(round_trip),
+            fmt_cycles(switch_cost),
+            format!("{:.1}%", (1.0 - mixed / perf) * 100.0),
+            format!("{predicted:.1}%"),
+            format!("{:.2}x", mixed / dmr),
+        ]);
+    }
+    print_table(
+        "Single-OS mixed mode vs OS-entry interval (synthetic compute-bound app)",
+        &[
+            "user insts",
+            "round trip (cycles)",
+            "switch cost",
+            "measured cost vs all-perf",
+            "paper-style estimate",
+            "speedup vs all-DMR",
+        ],
+        &rows,
+    );
+    println!(
+        "\nThe estimate column reproduces the paper's arithmetic (switch cycles \
+         over interval). The measured column is the full price — it adds what \
+         the estimate leaves out: the kernel's own DMR slowdown during OS \
+         phases and per-stint cache warm-up. Both shrink as OS entries become \
+         rarer; the final column shows mixed mode approaching the \
+         all-performance bound while the all-DMR system stays ~30% behind."
+    );
+}

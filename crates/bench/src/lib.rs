@@ -1,0 +1,55 @@
+//! Shared plumbing for the benchmark harness binaries.
+//!
+//! Each `bin/` target reproduces one table or figure of the paper's
+//! evaluation (see `DESIGN.md` §3). This library holds the pieces they
+//! share: the experiment template, figure-shaped table assembly, and
+//! normalization helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mmm_core::{Experiment, RunResult};
+
+/// Builds the harness experiment template: `MMM_*` env overrides on
+/// top of the given defaults (sized per figure so cache state reaches
+/// capacity equilibrium — the paper ran 100 M cycles per run).
+pub fn experiment_sized(default_warmup: u64, default_measure: u64) -> Experiment {
+    let mut e = Experiment::from_env();
+    if std::env::var("MMM_MEASURE").is_err() {
+        e.measure = default_measure;
+    }
+    if std::env::var("MMM_WARMUP").is_err() {
+        e.warmup = default_warmup;
+    }
+    e
+}
+
+/// Default-sized harness experiment.
+pub fn experiment() -> Experiment {
+    experiment_sized(1_000_000, 3_000_000)
+}
+
+/// Normalizes `(mean, ci)` of a metric by `base`.
+pub fn norm(value: (f64, f64), base: f64) -> (f64, f64) {
+    if base == 0.0 {
+        (0.0, 0.0)
+    } else {
+        (value.0 / base, value.1 / base)
+    }
+}
+
+/// Prints the standard run-length banner so outputs are
+/// self-describing.
+pub fn banner(what: &str, e: &Experiment) {
+    println!(
+        "{what}: warmup={} measure={} seeds={} (override via MMM_WARMUP / MMM_MEASURE / MMM_SEEDS)",
+        e.warmup,
+        e.measure,
+        e.seeds.len()
+    );
+}
+
+/// Mean of a metric across a run's reports (no CI).
+pub fn mean_of(run: &RunResult, f: impl Fn(&mmm_core::SystemReport) -> f64) -> f64 {
+    run.metric(f).0
+}

@@ -1,0 +1,236 @@
+//! High-level experiment driver.
+//!
+//! Reproduces the paper's methodology (§4.1): each configuration runs
+//! for a warm-up period plus a measured period, repeated across
+//! multiple seeds ("due to workload variability, we simulate multiple
+//! runs and report average results with 95% confidence intervals"),
+//! with *committed user instructions* as the work metric.
+//!
+//! Run lengths default to a laptop-scale budget and are overridable
+//! through environment variables so the bench harness can scale up:
+//!
+//! * `MMM_WARMUP` — warm-up cycles per run (default 100 000);
+//! * `MMM_MEASURE` — measured cycles per run (default 400 000;
+//!   the paper used 100 M on a machine-room simulator);
+//! * `MMM_SEEDS` — number of seeds (default 3).
+
+use crossbeam::thread;
+use mmm_types::stats::mean_ci95;
+use mmm_types::{Result, SystemConfig};
+
+use crate::sched::Workload;
+use crate::system::{System, SystemReport};
+
+/// One experiment campaign: a configuration template plus run lengths.
+///
+/// ```
+/// use mmm_core::{Experiment, Workload};
+/// use mmm_workload::Benchmark;
+///
+/// let mut e = Experiment::default();
+/// e.warmup = 5_000;
+/// e.measure = 20_000;
+/// e.seeds = vec![1, 2];
+/// let run = e.run_workload(Workload::NoDmr(Benchmark::Pmake))?;
+/// let (ipc, ci) = run.avg_user_ipc();
+/// assert!(ipc > 0.0 && ci >= 0.0);
+/// # Ok::<(), mmm_types::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Machine configuration template.
+    pub cfg: SystemConfig,
+    /// Warm-up cycles (excluded from measurement).
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+    /// Optional fault-injection rate (faults per core-cycle).
+    pub fault_rate: Option<f64>,
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Self {
+            cfg: SystemConfig::default(),
+            warmup: 100_000,
+            measure: 400_000,
+            seeds: vec![1, 2, 3],
+            fault_rate: None,
+        }
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Experiment {
+    /// Builds an experiment, honouring the `MMM_*` environment
+    /// overrides.
+    pub fn from_env() -> Self {
+        let mut e = Experiment::default();
+        e.warmup = env_u64("MMM_WARMUP", e.warmup);
+        e.measure = env_u64("MMM_MEASURE", e.measure);
+        let seeds = env_u64("MMM_SEEDS", e.seeds.len() as u64).max(1);
+        e.seeds = (1..=seeds).collect();
+        e
+    }
+
+    /// Runs one `(workload, seed)` pair.
+    pub fn run_one(&self, workload: Workload, seed: u64) -> Result<SystemReport> {
+        let mut sys = System::new(&self.cfg, workload, seed)?;
+        if let Some(rate) = self.fault_rate {
+            sys.enable_fault_injection(rate, seed ^ 0xF417);
+        }
+        Ok(sys.run_measured(self.warmup, self.measure))
+    }
+
+    /// Runs one workload across all seeds (sequentially).
+    pub fn run_workload(&self, workload: Workload) -> Result<RunResult> {
+        let reports = self
+            .seeds
+            .iter()
+            .map(|&s| self.run_one(workload, s))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(RunResult { workload, reports })
+    }
+
+    /// Runs many workloads, one OS thread per `(workload, seed)` pair,
+    /// bounded by available parallelism.
+    pub fn run_many(&self, workloads: &[Workload]) -> Result<Vec<RunResult>> {
+        let jobs: Vec<(usize, Workload, u64)> = workloads
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &w)| self.seeds.iter().map(move |&s| (i, w, s)))
+            .collect();
+        let max_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let mut results: Vec<Vec<Option<SystemReport>>> =
+            vec![vec![None; self.seeds.len()]; workloads.len()];
+        for chunk in jobs.chunks(max_threads) {
+            let outputs = thread::scope(|scope| {
+                let handles: Vec<_> = chunk
+                    .iter()
+                    .map(|&(i, w, s)| {
+                        let me = self.clone();
+                        scope.spawn(move |_| (i, s, me.run_one(w, s)))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("experiment thread panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("scope");
+            for (i, s, report) in outputs {
+                let seed_idx = self.seeds.iter().position(|&x| x == s).expect("seed known");
+                results[i][seed_idx] = Some(report?);
+            }
+        }
+        Ok(workloads
+            .iter()
+            .zip(results)
+            .map(|(&workload, reports)| RunResult {
+                workload,
+                reports: reports.into_iter().flatten().collect(),
+            })
+            .collect())
+    }
+}
+
+/// All seeds' reports for one workload.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The configuration that ran.
+    pub workload: Workload,
+    /// One report per seed.
+    pub reports: Vec<SystemReport>,
+}
+
+impl RunResult {
+    /// Mean and 95% CI half-width of an arbitrary per-report metric.
+    pub fn metric<F: Fn(&SystemReport) -> f64>(&self, f: F) -> (f64, f64) {
+        let samples: Vec<f64> = self.reports.iter().map(f).collect();
+        mean_ci95(&samples)
+    }
+
+    /// Machine-wide average per-VCPU user IPC.
+    pub fn avg_user_ipc(&self) -> (f64, f64) {
+        self.metric(|r| r.avg_user_ipc())
+    }
+
+    /// Machine-wide user instructions per cycle (throughput).
+    pub fn throughput(&self) -> (f64, f64) {
+        self.metric(|r| r.total_user_commits() as f64 / r.cycles as f64)
+    }
+
+    /// Per-thread user IPC of one VM.
+    pub fn vm_ipc(&self, vm: mmm_types::VmId) -> (f64, f64) {
+        self.metric(|r| r.vm_avg_user_ipc(vm))
+    }
+
+    /// User-instruction throughput of one VM.
+    pub fn vm_throughput(&self, vm: mmm_types::VmId) -> (f64, f64) {
+        self.metric(|r| r.vm_user_commits(vm) as f64 / r.cycles as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_workload::Benchmark;
+
+    fn tiny() -> Experiment {
+        Experiment {
+            warmup: 5_000,
+            measure: 40_000,
+            seeds: vec![1, 2],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_workload_produces_one_report_per_seed() {
+        let e = tiny();
+        let r = e.run_workload(Workload::NoDmr(Benchmark::Pmake)).unwrap();
+        assert_eq!(r.reports.len(), 2);
+        let (ipc, _) = r.avg_user_ipc();
+        assert!(ipc > 0.0);
+    }
+
+    #[test]
+    fn run_many_matches_sequential() {
+        let e = tiny();
+        let seq = e.run_workload(Workload::NoDmr(Benchmark::Pmake)).unwrap();
+        let par = e
+            .run_many(&[Workload::NoDmr(Benchmark::Pmake)])
+            .unwrap()
+            .remove(0);
+        assert_eq!(
+            seq.reports[0].total_user_commits(),
+            par.reports[0].total_user_commits(),
+            "parallel execution must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn metric_ci_is_finite() {
+        let e = tiny();
+        let r = e.run_workload(Workload::NoDmr(Benchmark::Pmake)).unwrap();
+        let (m, hw) = r.throughput();
+        assert!(m.is_finite() && hw.is_finite());
+        assert!(m > 0.0);
+    }
+
+    #[test]
+    fn env_defaults_are_sane() {
+        let e = Experiment::from_env();
+        assert!(e.warmup > 0 && e.measure > 0 && !e.seeds.is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Transient-fault injection.
+//!
+//! The paper's performance evaluation is fault-free, but its entire
+//! design exists to survive faults: DMR detects them through
+//! fingerprint mismatches, and the PAB blocks performance-mode *wild
+//! stores* — the §3.4.1 scenario where "a bit flip in the privileged
+//! mode bit, checking logic, or TLB array can result in the successful
+//! translation of an invalid virtual address", letting even correct
+//! software write physical addresses it does not own.
+//!
+//! The injector draws fault events as a Poisson process over
+//! core-cycles and classifies each by site. The *effects* are applied
+//! by the [`crate::system::System`], which knows each core's current
+//! role:
+//!
+//! * any fault on a DMR core → fingerprint mismatch → detected and
+//!   recovered by Reunion;
+//! * a TLB/permission fault on a performance core → a wild store to a
+//!   random physical page, checked by the PAB: blocked (exception) if
+//!   the page is reliable-only, silent corruption of the performance
+//!   domain otherwise;
+//! * a privileged-register fault on a performance core → corrupt state
+//!   that the Enter-DMR verification step catches at the next mode
+//!   transition (§3.4.3);
+//! * a core-logic fault on a performance core → silent corruption,
+//!   tolerated by assumption for performance applications;
+//! * a fault on an idle core → no effect.
+
+use mmm_types::{CoreId, Cycle, DetRng};
+
+/// Hardware site struck by a transient fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Combinational logic inside the core (datapath, control).
+    CoreLogic,
+    /// TLB array or permission-checking logic.
+    TlbPermission,
+    /// A privileged register.
+    PrivReg,
+}
+
+/// Outcome counters for injected faults.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faults injected in total.
+    pub injected: u64,
+    /// Faults striking DMR cores, detected via fingerprint mismatch.
+    pub detected_by_dmr: u64,
+    /// Wild stores blocked by the PAB before reaching the L2.
+    pub wild_stores_blocked: u64,
+    /// Wild stores that hit unprotected (performance-domain) pages.
+    pub wild_stores_corrupting: u64,
+    /// Privileged-register corruptions caught by Enter-DMR
+    /// verification.
+    pub privreg_caught_at_entry: u64,
+    /// Core-logic faults in performance mode (silent, tolerated).
+    pub silent_perf_faults: u64,
+    /// Faults striking idle cores (no architectural effect).
+    pub on_idle_core: u64,
+}
+
+impl FaultStats {
+    /// Faults whose effect was contained away from reliable software
+    /// (everything except wild stores that corrupted an unprotected
+    /// page and silent performance-domain faults, which are tolerated
+    /// by assumption).
+    pub fn contained(&self) -> u64 {
+        self.detected_by_dmr
+            + self.wild_stores_blocked
+            + self.privreg_caught_at_entry
+            + self.on_idle_core
+    }
+}
+
+/// Poisson fault-event source.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: DetRng,
+    rate_per_core_cycle: f64,
+    cores: u32,
+    next_at: Cycle,
+    /// Outcome counters, updated by the `System` as effects apply.
+    pub stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Creates an injector with the given per-core-per-cycle fault
+    /// rate.
+    pub fn new(rate_per_core_cycle: f64, cores: u32, seed: u64) -> Self {
+        assert!(rate_per_core_cycle > 0.0, "rate must be positive");
+        let mut rng = DetRng::new(seed, 0xFA17);
+        let first = rng.geometric(rate_per_core_cycle * cores as f64);
+        Self {
+            rng,
+            rate_per_core_cycle,
+            cores,
+            next_at: first,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Cycle of the next fault event.
+    pub fn next_at(&self) -> Cycle {
+        self.next_at
+    }
+
+    /// If a fault strikes at `now`, returns the struck core and site
+    /// and schedules the next event.
+    pub fn poll(&mut self, now: Cycle) -> Option<(CoreId, FaultSite)> {
+        if now < self.next_at {
+            return None;
+        }
+        self.next_at = now
+            + self
+                .rng
+                .geometric(self.rate_per_core_cycle * self.cores as f64);
+        self.stats.injected += 1;
+        let core = CoreId(self.rng.below(self.cores as u64) as u16);
+        // Site mix: logic faults dominate projected future rates
+        // (Shivakumar et al., cited in §3.1); TLB/permission and
+        // privileged-register upsets are rarer.
+        let r = self.rng.unit();
+        let site = if r < 0.6 {
+            FaultSite::CoreLogic
+        } else if r < 0.9 {
+            FaultSite::TlbPermission
+        } else {
+            FaultSite::PrivReg
+        };
+        Some((core, site))
+    }
+
+    /// Draws a wild-store target page in `[0, max_page)`.
+    pub fn draw_wild_page(&mut self, max_page: u64) -> u64 {
+        self.rng.below(max_page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_roughly_respected() {
+        let mut inj = FaultInjector::new(1e-4, 16, 7);
+        let mut count = 0;
+        for now in 0..200_000u64 {
+            if inj.poll(now).is_some() {
+                count += 1;
+            }
+        }
+        // Expected 16 * 1e-4 * 200k = 320.
+        assert!((200..500).contains(&count), "fault count {count}");
+    }
+
+    #[test]
+    fn cores_and_sites_are_spread() {
+        let mut inj = FaultInjector::new(1e-3, 16, 9);
+        let mut cores = std::collections::HashSet::new();
+        let mut sites = std::collections::HashSet::new();
+        for now in 0..100_000u64 {
+            if let Some((c, s)) = inj.poll(now) {
+                cores.insert(c);
+                sites.insert(s);
+            }
+        }
+        assert!(cores.len() >= 12, "core spread {}", cores.len());
+        assert_eq!(sites.len(), 3);
+    }
+
+    #[test]
+    fn no_fault_before_next_at() {
+        let mut inj = FaultInjector::new(1e-6, 16, 1);
+        let at = inj.next_at();
+        for now in 0..at.min(10_000) {
+            assert!(inj.poll(now).is_none());
+        }
+    }
+
+    #[test]
+    fn contained_summary() {
+        let s = FaultStats {
+            injected: 10,
+            detected_by_dmr: 4,
+            wild_stores_blocked: 2,
+            privreg_caught_at_entry: 1,
+            on_idle_core: 1,
+            wild_stores_corrupting: 1,
+            silent_perf_faults: 1,
+        };
+        assert_eq!(s.contained(), 8);
+    }
+
+    #[test]
+    fn wild_pages_in_range() {
+        let mut inj = FaultInjector::new(1e-3, 4, 2);
+        for _ in 0..1000 {
+            assert!(inj.draw_wild_page(500) < 500);
+        }
+    }
+}

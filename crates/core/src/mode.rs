@@ -1,0 +1,82 @@
+//! The per-VCPU reliability-mode register (paper §3.3).
+//!
+//! The chip exposes one 2-bit register per VCPU, writable only by
+//! privileged software, selecting one of three operating modes. The
+//! paper's evaluation mixes [`RelMode::Reliable`] and
+//! [`RelMode::PerfUser`] (the third mode, full performance even for
+//! privileged code, exists in the interface but is never safe for the
+//! highest privilege level, which must always run reliably — §3.4.2).
+
+/// Operating mode requested for a VCPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RelMode {
+    /// Operate with high reliability: the VCPU always executes on a
+    /// DMR pair.
+    Reliable,
+    /// Operate with high performance even when executing privileged
+    /// code. Only meaningful where the software above this VCPU (a
+    /// VMM) is itself protected; a consolidated server uses this for
+    /// performance guest VMs, treating the whole guest (OS included)
+    /// as one unprotected entity (§3.4.2).
+    Performance,
+    /// Operate with high performance only while executing
+    /// non-privileged (user / guest) software; privileged execution
+    /// forces a transition to reliable mode (§3.3, mode 3). This is
+    /// the mode a single-OS mixed-mode system uses for performance
+    /// applications.
+    PerfUser,
+}
+
+impl RelMode {
+    /// Whether user-level code of this VCPU may run without DMR.
+    pub fn user_unprotected(self) -> bool {
+        matches!(self, RelMode::Performance | RelMode::PerfUser)
+    }
+
+    /// Whether OS entry on this VCPU forces a switch to reliable mode.
+    pub fn traps_to_reliable(self) -> bool {
+        self == RelMode::PerfUser
+    }
+
+    /// Encodes to the architectural 2-bit value.
+    pub fn encode(self) -> u8 {
+        match self {
+            RelMode::Reliable => 0b01,
+            RelMode::Performance => 0b10,
+            RelMode::PerfUser => 0b11,
+        }
+    }
+
+    /// Decodes the architectural 2-bit value.
+    pub fn decode(bits: u8) -> Option<RelMode> {
+        match bits {
+            0b01 => Some(RelMode::Reliable),
+            0b10 => Some(RelMode::Performance),
+            0b11 => Some(RelMode::PerfUser),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for m in [RelMode::Reliable, RelMode::Performance, RelMode::PerfUser] {
+            assert_eq!(RelMode::decode(m.encode()), Some(m));
+        }
+        assert_eq!(RelMode::decode(0), None);
+    }
+
+    #[test]
+    fn protection_predicates() {
+        assert!(!RelMode::Reliable.user_unprotected());
+        assert!(RelMode::Performance.user_unprotected());
+        assert!(RelMode::PerfUser.user_unprotected());
+        assert!(RelMode::PerfUser.traps_to_reliable());
+        assert!(!RelMode::Performance.traps_to_reliable());
+        assert!(!RelMode::Reliable.traps_to_reliable());
+    }
+}

@@ -1,0 +1,104 @@
+//! Plain-text table rendering for the experiment harnesses.
+//!
+//! The bin targets in `mmm-bench` print tables shaped like the paper's
+//! figures (one row per benchmark, one column per configuration) using
+//! these helpers.
+
+use std::fmt::Write as _;
+
+/// Formats `mean ± half-width`.
+pub fn fmt_ci(mean: f64, half_width: f64) -> String {
+    if half_width > 0.0 {
+        format!("{mean:.3} ±{half_width:.3}")
+    } else {
+        format!("{mean:.3}")
+    }
+}
+
+/// Formats a ratio as `1.87x`.
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats cycles compactly (`2.3k`, `10.4k`, `1.2M`).
+pub fn fmt_cycles(c: f64) -> String {
+    if c >= 1e6 {
+        format!("{:.1}M", c / 1e6)
+    } else if c >= 1e3 {
+        format!("{:.1}k", c / 1e3)
+    } else {
+        format!("{c:.0}")
+    }
+}
+
+/// Renders an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let mut header_line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(header_line, "{h:<w$}  ", w = w);
+    }
+    let _ = writeln!(out, "{}", header_line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(header_line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:<w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Prints a rendered table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", render_table(title, headers, rows));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_formatting() {
+        assert_eq!(fmt_ci(0.5, 0.0), "0.500");
+        assert_eq!(fmt_ci(0.5, 0.01), "0.500 ±0.010");
+    }
+
+    #[test]
+    fn ratio_and_cycles() {
+        assert_eq!(fmt_ratio(1.872), "1.87x");
+        assert_eq!(fmt_cycles(2_300.0), "2.3k");
+        assert_eq!(fmt_cycles(10_400.0), "10.4k");
+        assert_eq!(fmt_cycles(1_200_000.0), "1.2M");
+        assert_eq!(fmt_cycles(42.0), "42");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let s = render_table(
+            "T",
+            &["bench", "value"],
+            &[
+                vec!["Apache".into(), "1.00".into()],
+                vec!["pgbench-long".into(), "2.00".into()],
+            ],
+        );
+        assert!(s.contains("== T =="));
+        assert!(s.contains("Apache"));
+        assert!(s.contains("pgbench-long"));
+        // Header aligned to widest cell.
+        let lines: Vec<&str> = s.lines().collect();
+        let header_idx = lines.iter().position(|l| l.starts_with("bench")).unwrap();
+        assert!(lines[header_idx].contains("value"));
+    }
+}

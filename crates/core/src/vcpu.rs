@@ -1,0 +1,116 @@
+//! Virtualized VCPUs: the unit the chip schedules onto cores.
+//!
+//! The chip exposes VCPUs to system software and maps them onto
+//! physical cores itself (paper §3.5): one core in performance mode, a
+//! vocal/mute pair in reliable mode, or parked (paused) when the
+//! machine is overcommitted and no cores are free.
+
+use mmm_cpu::ExecContext;
+use mmm_types::{CoreId, VcpuId, VmId};
+
+use crate::mode::RelMode;
+
+/// Where a VCPU's computation currently lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Assignment {
+    /// Not running; architected state parked in the scratchpad.
+    Parked,
+    /// Running in performance mode on one core.
+    Solo(CoreId),
+    /// Running redundantly on a DMR pair.
+    Dmr {
+        /// The coherent master core.
+        vocal: CoreId,
+        /// The incoherent checker core.
+        mute: CoreId,
+    },
+}
+
+impl Assignment {
+    /// Cores occupied by this assignment.
+    pub fn cores(self) -> impl Iterator<Item = CoreId> {
+        let (a, b) = match self {
+            Assignment::Parked => (None, None),
+            Assignment::Solo(c) => (Some(c), None),
+            Assignment::Dmr { vocal, mute } => (Some(vocal), Some(mute)),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// Whether the VCPU is currently executing.
+    pub fn is_running(self) -> bool {
+        self != Assignment::Parked
+    }
+}
+
+/// One virtual processor.
+#[derive(Debug)]
+pub struct Vcpu {
+    /// Architectural identifier.
+    pub id: VcpuId,
+    /// Owning VM (or the single OS image).
+    pub vm: VmId,
+    /// The reliability-mode register (paper §3.3), written by
+    /// privileged software.
+    pub mode: RelMode,
+    /// Architected context while parked (held by a core otherwise).
+    pub parked_ctx: Option<ExecContext>,
+    /// Current mapping onto cores.
+    pub assignment: Assignment,
+}
+
+impl Vcpu {
+    /// Creates a parked VCPU holding `ctx`.
+    pub fn new(id: VcpuId, vm: VmId, mode: RelMode, ctx: ExecContext) -> Self {
+        Self {
+            id,
+            vm,
+            mode,
+            parked_ctx: Some(ctx),
+            assignment: Assignment::Parked,
+        }
+    }
+
+    /// Committed user instructions, wherever the context lives. When
+    /// the VCPU is running, the caller must pass the core-resident
+    /// context's counters via [`Vcpu::parked_ctx`] being `None` — use
+    /// `System`-level accounting instead; this accessor covers parked
+    /// VCPUs only.
+    pub fn parked_user_commits(&self) -> Option<u64> {
+        self.parked_ctx.as_ref().map(|c| c.user_commits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_workload::{Benchmark, OpStream};
+
+    #[test]
+    fn assignment_cores() {
+        assert_eq!(Assignment::Parked.cores().count(), 0);
+        assert!(!Assignment::Parked.is_running());
+        let solo = Assignment::Solo(CoreId(3));
+        assert_eq!(solo.cores().collect::<Vec<_>>(), vec![CoreId(3)]);
+        assert!(solo.is_running());
+        let dmr = Assignment::Dmr {
+            vocal: CoreId(0),
+            mute: CoreId(1),
+        };
+        assert_eq!(dmr.cores().collect::<Vec<_>>(), vec![CoreId(0), CoreId(1)]);
+    }
+
+    #[test]
+    fn new_vcpu_is_parked_with_context() {
+        let ctx = ExecContext::new(OpStream::new(
+            Benchmark::Apache.profile(),
+            VmId(1),
+            VcpuId(4),
+            3,
+        ));
+        let v = Vcpu::new(VcpuId(4), VmId(1), RelMode::Reliable, ctx);
+        assert_eq!(v.assignment, Assignment::Parked);
+        assert_eq!(v.parked_user_commits(), Some(0));
+        assert_eq!(v.mode, RelMode::Reliable);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the PAT/PAB protection pair.
+//!
+//! Whatever interleaving of PAT updates, store checks, and TLB demaps
+//! occurs, the PAB's verdict must always equal the PAT's current
+//! content — the PAB is a pure (demap-coherent) cache of the table.
+
+use proptest::prelude::*;
+
+use mmm_core::{Pab, PabVerdict, Pat};
+use mmm_mem::MemorySystem;
+use mmm_types::{CoreId, PageAddr, SystemConfig};
+
+#[derive(Clone, Debug)]
+enum PatOp {
+    /// Mark a page reliable-only / open, then demap it (the system
+    /// software contract: PAT updates are followed by a TLB demap,
+    /// which the PAB mirrors).
+    SetAndDemap { page: u16, reliable: bool },
+    /// A performance-mode store permission check.
+    Check { page: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = PatOp> {
+    prop_oneof![
+        (0..2048u16, any::<bool>())
+            .prop_map(|(page, reliable)| PatOp::SetAndDemap { page, reliable }),
+        (0..2048u16).prop_map(|page| PatOp::Check { page }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pab_verdicts_always_match_the_pat(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let cfg = SystemConfig::default();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut pat = Pat::new();
+        let mut pab = Pab::new(cfg.pab);
+        let mut now = 0u64;
+        for op in &ops {
+            now += 11;
+            match *op {
+                PatOp::SetAndDemap { page, reliable } => {
+                    pat.set_reliable(PageAddr(page as u64), reliable);
+                    pab.on_demap(PageAddr(page as u64), &pat);
+                }
+                PatOp::Check { page } => {
+                    let line = PageAddr(page as u64).first_line();
+                    let (ready, verdict) =
+                        pab.check_store(CoreId(0), line, &pat, &mut mem, now);
+                    prop_assert!(ready >= now);
+                    let expected = if pat.is_reliable(PageAddr(page as u64)) {
+                        PabVerdict::Violation
+                    } else {
+                        PabVerdict::Allowed
+                    };
+                    prop_assert_eq!(verdict, expected);
+                }
+            }
+            prop_assert!(pab.occupancy() <= cfg.pab.entries as usize);
+        }
+        // Accounting: hits + misses == lookups.
+        let s = pab.stats();
+        prop_assert_eq!(s.hits + s.misses, s.lookups);
+    }
+
+    #[test]
+    fn pat_range_updates_are_exact(start in 0u64..50_000, len in 1u64..600) {
+        let mut pat = Pat::new();
+        pat.set_range_reliable(start..start + len, true);
+        prop_assert!(!pat.is_reliable(PageAddr(start.wrapping_sub(1))));
+        prop_assert!(pat.is_reliable(PageAddr(start)));
+        prop_assert!(pat.is_reliable(PageAddr(start + len - 1)));
+        prop_assert!(!pat.is_reliable(PageAddr(start + len)));
+        // Clearing undoes it exactly.
+        pat.set_range_reliable(start..start + len, false);
+        for p in [start, start + len / 2, start + len - 1] {
+            prop_assert!(!pat.is_reliable(PageAddr(p)));
+        }
+    }
+}

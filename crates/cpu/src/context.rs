@@ -1,0 +1,148 @@
+//! The architected execution context of one VCPU.
+//!
+//! An [`ExecContext`] is everything the chip's virtualization layer
+//! saves and restores when it moves a VCPU between cores (paper §3.5):
+//! the software thread's position in its instruction stream plus
+//! commit counters. In DMR mode the vocal and mute cores each hold a
+//! *clone* of the same context — the streams are deterministic, so two
+//! clones at the same position generate the identical instruction
+//! sequence, which is what makes redundant execution meaningful.
+
+use mmm_types::{VcpuId, VmId};
+use mmm_workload::{MicroOp, OpSource, OpStream, TraceReplay};
+
+/// The architected state of a VCPU as seen by a core.
+#[derive(Clone, Debug)]
+pub struct ExecContext {
+    source: OpSource,
+    /// Dynamic instruction number of the next op to dispatch.
+    seq: u64,
+    /// A fetched-but-not-yet-dispatched op (one-deep fetch buffer).
+    pending: Option<MicroOp>,
+    /// User-level instructions committed by this context.
+    pub user_commits: u64,
+    /// OS-level instructions committed by this context.
+    pub os_commits: u64,
+    /// Instructions committed without DMR protection (no commit gate
+    /// installed on the executing core).
+    pub unprotected_commits: u64,
+}
+
+impl ExecContext {
+    /// Wraps a workload stream as a runnable context.
+    pub fn new(stream: OpStream) -> Self {
+        Self::from_source(stream.into())
+    }
+
+    /// Wraps a trace replay as a runnable context (trace-driven
+    /// simulation).
+    pub fn from_replay(replay: TraceReplay) -> Self {
+        Self::from_source(replay.into())
+    }
+
+    /// Wraps any op source as a runnable context.
+    pub fn from_source(source: OpSource) -> Self {
+        Self {
+            source,
+            seq: 0,
+            pending: None,
+            user_commits: 0,
+            os_commits: 0,
+            unprotected_commits: 0,
+        }
+    }
+
+    /// The VCPU this context belongs to.
+    pub fn vcpu(&self) -> VcpuId {
+        self.source.vcpu()
+    }
+
+    /// The VM this context belongs to.
+    pub fn vm(&self) -> VmId {
+        self.source.vm()
+    }
+
+    /// Sequence number of the next op to dispatch.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Peeks the next op without consuming it.
+    pub fn peek(&mut self) -> &MicroOp {
+        if self.pending.is_none() {
+            self.pending = Some(self.source.next_op());
+        }
+        self.pending.as_ref().expect("just filled")
+    }
+
+    /// Consumes the next op, advancing the stream position.
+    pub fn take(&mut self) -> (u64, MicroOp) {
+        let op = match self.pending.take() {
+            Some(op) => op,
+            None => self.source.next_op(),
+        };
+        let seq = self.seq;
+        self.seq += 1;
+        (seq, op)
+    }
+
+    /// Total committed instructions.
+    pub fn commits(&self) -> u64 {
+        self.user_commits + self.os_commits
+    }
+
+    /// Privilege level the stream is currently executing at (the
+    /// privilege of the next op).
+    pub fn current_privilege(&mut self) -> mmm_workload::Privilege {
+        self.peek().privilege
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_workload::Benchmark;
+
+    fn ctx() -> ExecContext {
+        ExecContext::new(OpStream::new(
+            Benchmark::Oltp.profile(),
+            VmId(0),
+            VcpuId(2),
+            7,
+        ))
+    }
+
+    #[test]
+    fn peek_then_take_returns_same_op() {
+        let mut c = ctx();
+        let peeked = *c.peek();
+        let (seq, taken) = c.take();
+        assert_eq!(seq, 0);
+        assert_eq!(peeked, taken);
+        assert_eq!(c.seq(), 1);
+    }
+
+    #[test]
+    fn clones_replay_identically() {
+        let mut a = ctx();
+        // Advance, then clone mid-stream.
+        for _ in 0..100 {
+            a.take();
+        }
+        let mut b = a.clone();
+        for _ in 0..1000 {
+            let (sa, oa) = a.take();
+            let (sb, ob) = b.take();
+            assert_eq!(sa, sb);
+            assert_eq!(oa, ob);
+        }
+    }
+
+    #[test]
+    fn identity_is_preserved() {
+        let c = ctx();
+        assert_eq!(c.vcpu(), VcpuId(2));
+        assert_eq!(c.vm(), VmId(0));
+        assert_eq!(c.commits(), 0);
+    }
+}

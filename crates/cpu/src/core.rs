@@ -1,0 +1,920 @@
+//! The per-cycle core pipeline model.
+//!
+//! One [`Core`] models the paper's out-of-order core: 2-wide dispatch
+//! and commit, a 128-entry instruction window, a 32+32 LSQ, and
+//! sequential consistency. The model is *commit-and-capacity*
+//! accurate rather than microarchitecturally exhaustive:
+//!
+//! * instructions enter the window at up to `width` per cycle, blocked
+//!   by window/LSQ capacity, I-fetch misses, mispredict redirects, and
+//!   serializing-instruction drain;
+//! * each instruction's execution-completion cycle is computed at
+//!   dispatch from its latency, an optional dependence on the youngest
+//!   older instruction, and — for memory ops — the memory system's
+//!   synchronous latency answer;
+//! * instructions leave the window in order at up to `width` per
+//!   cycle, once executed *and* (under Reunion) released by the
+//!   [`CommitGate`];
+//! * under SC a store must additionally hold exclusive ownership and
+//!   complete its L2 write-through before it can leave the window —
+//!   the pressure the paper identifies as Reunion's largest overhead
+//!   source; under TSO the store retires into a store buffer instead.
+
+use mmm_types::fastmap::FastMap;
+use std::collections::VecDeque;
+
+use mmm_mem::request::store_token;
+use mmm_mem::{MemorySystem, Source};
+use mmm_types::config::{Consistency, SystemConfig};
+use mmm_types::{CoreId, Cycle, LineAddr, VcpuId};
+use mmm_workload::{MicroOp, OpClass, Privilege};
+
+use crate::context::ExecContext;
+use crate::filter::StoreFilter;
+use crate::gate::CommitGate;
+use crate::phase::PhaseTracker;
+use crate::stats::CoreStats;
+use crate::tlb::Tlb;
+
+/// A privilege boundary reached by the instruction stream while the
+/// core was configured to trap on it (single-OS mixed-mode operation,
+/// paper §5.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Boundary {
+    /// The next instruction enters the OS (syscall/trap/interrupt):
+    /// the VCPU must be in reliable mode before it executes.
+    EnterOs,
+    /// The next instruction returns to user code: the VCPU may drop
+    /// back to performance mode.
+    ExitOs,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    seq: u64,
+    op: MicroOp,
+    /// Execution completion (for stores under SC: ownership acquired).
+    ready_at: Cycle,
+    /// Whether the commit-time write-through has been issued (stores).
+    write_issued: bool,
+    /// Whether the store filter (PAB) has already cleared this store.
+    filter_done: bool,
+}
+
+/// One physical core.
+pub struct Core {
+    id: CoreId,
+    // Structural parameters.
+    width: u32,
+    window_entries: u32,
+    lq_entries: u32,
+    sq_entries: u32,
+    mispredict_penalty: u32,
+    dependence_threshold: u64,
+    consistency: Consistency,
+    sb_entries: u32,
+    /// L2 write occupancy per TSO store-buffer drain.
+    sb_drain_cycles: u32,
+
+    // Role configuration (set by the scheduler / DMR layer).
+    coherent: bool,
+    gate: Option<Box<dyn CommitGate>>,
+    store_filter: Option<Box<dyn StoreFilter>>,
+    trap_enter: bool,
+    trap_exit: bool,
+    phase_tracker: Option<PhaseTracker>,
+
+    // Execution state.
+    context: Option<ExecContext>,
+    window: VecDeque<Slot>,
+    lq_used: u32,
+    sq_used: u32,
+    store_buffer: VecDeque<Cycle>,
+    /// In-flight stores by line: (sequence of the youngest such store,
+    /// number in flight). Loads forward from here — a load younger
+    /// than an uncommitted store to the same line observes that
+    /// store's value, on the vocal and the mute alike.
+    inflight_stores: FastMap<LineAddr, (u64, u32)>,
+    fetch_stall_until: Cycle,
+    redirect_stall_until: Cycle,
+    si_in_flight: bool,
+    si_resume_until: Cycle,
+    external_stall_until: Cycle,
+    last_fetch_line: Option<LineAddr>,
+    pending_boundary: Option<Boundary>,
+    last_ready: Cycle,
+
+    tlb: Tlb,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Builds a core from the machine configuration.
+    pub fn new(id: CoreId, cfg: &SystemConfig) -> Self {
+        Self {
+            id,
+            width: cfg.core.width,
+            window_entries: cfg.core.window_entries,
+            lq_entries: cfg.core.load_queue,
+            sq_entries: cfg.core.store_queue,
+            mispredict_penalty: cfg.core.mispredict_penalty,
+            dependence_threshold: (cfg.core.dependence_frac * 1024.0) as u64,
+            consistency: cfg.consistency,
+            sb_entries: cfg.mem.store_buffer_entries,
+            sb_drain_cycles: 3,
+            coherent: true,
+            gate: None,
+            store_filter: None,
+            trap_enter: false,
+            trap_exit: false,
+            phase_tracker: None,
+            context: None,
+            window: VecDeque::with_capacity(cfg.core.window_entries as usize),
+            lq_used: 0,
+            sq_used: 0,
+            store_buffer: VecDeque::new(),
+            inflight_stores: FastMap::default(),
+            fetch_stall_until: 0,
+            redirect_stall_until: 0,
+            si_in_flight: false,
+            si_resume_until: 0,
+            external_stall_until: 0,
+            last_fetch_line: None,
+            pending_boundary: None,
+            last_ready: 0,
+            tlb: Tlb::new(cfg.core.tlb_entries, cfg.core.tlb_fill_latency),
+            stats: CoreStats::new(),
+        }
+    }
+
+    /// This core's identifier.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Installs a context; the core starts executing it on the next
+    /// tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a context is already installed.
+    pub fn set_context(&mut self, ctx: ExecContext) {
+        assert!(self.context.is_none(), "core {} already busy", self.id);
+        self.context = Some(ctx);
+        self.last_fetch_line = None;
+    }
+
+    /// Removes and returns the context, leaving the core idle.
+    /// Any in-flight window contents are squashed and a pending
+    /// boundary trap is cleared first.
+    pub fn take_context(&mut self, now: Cycle) -> Option<ExecContext> {
+        self.squash(now);
+        self.pending_boundary = None;
+        self.context.take()
+    }
+
+    /// Whether a context is installed.
+    pub fn is_busy(&self) -> bool {
+        self.context.is_some()
+    }
+
+    /// Read access to the installed context.
+    pub fn context(&self) -> Option<&ExecContext> {
+        self.context.as_ref()
+    }
+
+    /// Sets whether this core participates in coherence (vocal /
+    /// performance mode) or runs incoherently (Reunion mute).
+    pub fn set_coherent(&mut self, coherent: bool) {
+        self.coherent = coherent;
+    }
+
+    /// Whether this core issues coherent requests.
+    pub fn coherent(&self) -> bool {
+        self.coherent
+    }
+
+    /// Installs (or removes) the Reunion commit gate.
+    pub fn set_gate(&mut self, gate: Option<Box<dyn CommitGate>>) {
+        self.gate = gate;
+    }
+
+    /// Installs (or removes) the store filter — the PAB's hook into
+    /// the store write-through path (performance mode only).
+    pub fn set_store_filter(&mut self, filter: Option<Box<dyn StoreFilter>>) {
+        self.store_filter = filter;
+    }
+
+    /// Whether a store filter is installed.
+    pub fn has_store_filter(&self) -> bool {
+        self.store_filter.is_some()
+    }
+
+    /// Enables user/OS phase-duration tracking (Table 2).
+    pub fn enable_phase_tracking(&mut self) {
+        self.phase_tracker = Some(PhaseTracker::new());
+    }
+
+    /// The phase tracker, if enabled.
+    pub fn phase_tracker(&self) -> Option<&PhaseTracker> {
+        self.phase_tracker.as_ref()
+    }
+
+    /// Whether a commit gate is installed (DMR mode).
+    pub fn has_gate(&self) -> bool {
+        self.gate.is_some()
+    }
+
+    /// Configures privilege-boundary trapping: `enter` raises
+    /// [`Boundary::EnterOs`] before the first OS instruction
+    /// dispatches, `exit` raises [`Boundary::ExitOs`] before the first
+    /// post-OS user instruction dispatches.
+    pub fn set_traps(&mut self, enter: bool, exit: bool) {
+        self.trap_enter = enter;
+        self.trap_exit = exit;
+    }
+
+    /// The boundary the core is currently trapped on, if any.
+    pub fn pending_boundary(&self) -> Option<Boundary> {
+        self.pending_boundary
+    }
+
+    /// Clears a pending boundary trap (the mode switch has been
+    /// performed; dispatch may proceed).
+    pub fn clear_boundary(&mut self) {
+        self.pending_boundary = None;
+    }
+
+    /// Whether the window has fully drained.
+    pub fn window_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Stalls the core until `cycle` (mode-transition state machine,
+    /// VCPU state save/restore).
+    pub fn stall_until(&mut self, cycle: Cycle) {
+        self.external_stall_until = self.external_stall_until.max(cycle);
+    }
+
+    /// Cycle through which the core is externally stalled.
+    pub fn stalled_until(&self) -> Cycle {
+        self.external_stall_until
+    }
+
+    /// Discards all in-flight (dispatched, uncommitted) work.
+    pub fn squash(&mut self, _now: Cycle) {
+        if let Some(first) = self.window.front() {
+            if let Some(g) = self.gate.as_mut() {
+                g.on_squash(first.seq);
+            }
+            self.stats.squashes += 1;
+        }
+        self.window.clear();
+        self.lq_used = 0;
+        self.sq_used = 0;
+        self.inflight_stores.clear();
+        self.si_in_flight = false;
+        self.last_fetch_line = None;
+    }
+
+    /// The core's TLB (fault injection and demap tests).
+    pub fn tlb_mut(&mut self) -> &mut Tlb {
+        &mut self.tlb
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Resets counters (after warm-up).
+    pub fn reset_stats(&mut self) {
+        let active_context = self.context.as_mut();
+        if let Some(ctx) = active_context {
+            ctx.user_commits = 0;
+            ctx.os_commits = 0;
+            ctx.unprotected_commits = 0;
+        }
+        self.stats = CoreStats::new();
+    }
+
+    /// Advances the core by one cycle.
+    pub fn tick(&mut self, now: Cycle, mem: &mut MemorySystem) {
+        if self.context.is_none() {
+            return;
+        }
+        self.stats.active_cycles += 1;
+        if self
+            .context
+            .as_mut()
+            .map(|c| c.current_privilege() == Privilege::Os)
+            .unwrap_or(false)
+        {
+            self.stats.os_cycles += 1;
+        }
+        if now < self.external_stall_until {
+            return;
+        }
+        self.drain_store_buffer(now);
+        self.commit(now, mem);
+        self.dispatch(now, mem);
+    }
+
+    fn drain_store_buffer(&mut self, now: Cycle) {
+        while let Some(&head) = self.store_buffer.front() {
+            if head <= now {
+                self.store_buffer.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Whether the gate (if any) releases `seq` at `now`. Returns
+    /// `false` and counts a check-wait cycle when held.
+    fn gate_passed(&mut self, seq: u64, now: Cycle) -> bool {
+        match self.gate.as_mut() {
+            None => true,
+            Some(g) => match g.commit_time(seq, now) {
+                Some(t) if t <= now => true,
+                _ => {
+                    self.stats.check_wait_cycles += 1;
+                    false
+                }
+            },
+        }
+    }
+
+    fn commit(&mut self, now: Cycle, mem: &mut MemorySystem) {
+        let mut committed = 0;
+        while committed < self.width {
+            let Some(head) = self.window.front().copied() else {
+                break;
+            };
+            if now < head.ready_at {
+                break;
+            }
+            if head.op.is_store() {
+                match self.consistency {
+                    Consistency::Sc => {
+                        if !head.write_issued {
+                            // The write-through may only start once the
+                            // store is checked (its value must not
+                            // escape an unvalidated core).
+                            if !self.gate_passed(head.seq, now) {
+                                break;
+                            }
+                            let line = head.op.data_addr.expect("store has an address").line();
+                            // PAB re-validation before the L2 write
+                            // (performance mode only).
+                            if !head.filter_done {
+                                if let Some(f) = self.store_filter.as_mut() {
+                                    let ok_at = f.check(self.id, line, now, mem);
+                                    let slot = self.window.front_mut().expect("head exists");
+                                    slot.filter_done = true;
+                                    if ok_at > now {
+                                        slot.ready_at = ok_at;
+                                        break;
+                                    }
+                                }
+                            }
+                            let vcpu = self.vcpu();
+                            let token = store_token(vcpu, line, head.seq);
+                            let acc = mem.store_commit(self.id, line, token, self.coherent, now);
+                            let slot = self.window.front_mut().expect("head exists");
+                            slot.write_issued = true;
+                            slot.ready_at = acc.complete_at;
+                            if acc.complete_at > now {
+                                break;
+                            }
+                        }
+                    }
+                    Consistency::Tso => {
+                        if !self.gate_passed(head.seq, now) {
+                            break;
+                        }
+                        if self.store_buffer.len() >= self.sb_entries as usize {
+                            break;
+                        }
+                        let line = head.op.data_addr.expect("store has an address").line();
+                        if !head.filter_done {
+                            if let Some(f) = self.store_filter.as_mut() {
+                                let ok_at = f.check(self.id, line, now, mem);
+                                let slot = self.window.front_mut().expect("head exists");
+                                slot.filter_done = true;
+                                if ok_at > now {
+                                    slot.ready_at = ok_at;
+                                    break;
+                                }
+                            }
+                        }
+                        let vcpu = self.vcpu();
+                        let token = store_token(vcpu, line, head.seq);
+                        mem.store_commit(self.id, line, token, self.coherent, now);
+                        let drain_base = self.store_buffer.back().copied().unwrap_or(now).max(now);
+                        self.store_buffer
+                            .push_back(drain_base + self.sb_drain_cycles as Cycle);
+                        self.retire_head(now);
+                        committed += 1;
+                        continue;
+                    }
+                }
+            }
+            if !self.gate_passed(head.seq, now) {
+                break;
+            }
+            self.retire_head(now);
+            committed += 1;
+        }
+    }
+
+    fn retire_head(&mut self, now: Cycle) {
+        let slot = self.window.pop_front().expect("caller checked head");
+        match slot.op.class {
+            OpClass::Load => self.lq_used -= 1,
+            OpClass::Store => {
+                self.sq_used -= 1;
+                let line = slot.op.data_addr.expect("store has an address").line();
+                if let Some(entry) = self.inflight_stores.get_mut(&line) {
+                    entry.1 -= 1;
+                    if entry.1 == 0 {
+                        self.inflight_stores.remove(&line);
+                    }
+                }
+            }
+            OpClass::Serializing => {
+                self.si_in_flight = false;
+                let resume = self.gate.as_ref().map(|g| g.si_resume_delay()).unwrap_or(2);
+                self.si_resume_until = now + resume as Cycle;
+            }
+            _ => {}
+        }
+        let unprotected = self.gate.is_none();
+        let ctx = self.context.as_mut().expect("busy core has context");
+        match slot.op.privilege {
+            Privilege::User => {
+                ctx.user_commits += 1;
+                self.stats.commits_user += 1;
+            }
+            Privilege::Os => {
+                ctx.os_commits += 1;
+                self.stats.commits_os += 1;
+            }
+        }
+        if unprotected {
+            self.stats.commits_unprotected += 1;
+            ctx.unprotected_commits += 1;
+        }
+        if let Some(t) = self.phase_tracker.as_mut() {
+            if slot.op.enters_os {
+                t.on_enter_os(now);
+            } else if slot.op.exits_os {
+                t.on_exit_os(now);
+            }
+        }
+    }
+
+    fn vcpu(&self) -> VcpuId {
+        self.context
+            .as_ref()
+            .map(|c| c.vcpu())
+            .expect("busy core has context")
+    }
+
+    /// Deterministic dependence draw for `(vcpu, seq)` — identical on
+    /// the vocal and mute core of a pair.
+    fn depends_on_prev(&self, vcpu: VcpuId, seq: u64) -> bool {
+        let mut x = (vcpu.0 as u64 ^ 0xC0FE)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(seq);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        (x & 1023) < self.dependence_threshold
+    }
+
+    fn dispatch(&mut self, now: Cycle, mem: &mut MemorySystem) {
+        let mut dispatched = 0;
+        while dispatched < self.width {
+            if self.pending_boundary.is_some() {
+                break;
+            }
+            if self.si_in_flight {
+                self.stats.si_stall_cycles += 1;
+                break;
+            }
+            if now < self.si_resume_until {
+                self.stats.si_stall_cycles += 1;
+                break;
+            }
+            if now < self.redirect_stall_until {
+                self.stats.mispredict_stall_cycles += 1;
+                break;
+            }
+            if now < self.fetch_stall_until {
+                self.stats.fetch_stall_cycles += 1;
+                break;
+            }
+            if self.window.len() >= self.window_entries as usize {
+                self.stats.window_full_cycles += 1;
+                break;
+            }
+
+            let coherent = self.coherent;
+            let id = self.id;
+            let ctx = self.context.as_mut().expect("busy core has context");
+            let op = *ctx.peek();
+
+            // Privilege-boundary traps (single-OS mixed mode). The
+            // hardware checks the privilege level of the next
+            // instruction, not just explicit markers — a context that
+            // starts mid-OS-phase must still force reliable mode
+            // before any privileged instruction dispatches.
+            if self.trap_enter && op.privilege == Privilege::Os {
+                self.pending_boundary = Some(Boundary::EnterOs);
+                break;
+            }
+            if self.trap_exit && op.privilege == Privilege::User {
+                self.pending_boundary = Some(Boundary::ExitOs);
+                break;
+            }
+            // A serializing instruction dispatches alone into an empty
+            // window.
+            if op.is_serializing() && !self.window.is_empty() {
+                self.stats.si_stall_cycles += 1;
+                break;
+            }
+            // LSQ capacity.
+            match op.class {
+                OpClass::Load if self.lq_used >= self.lq_entries => {
+                    self.stats.lsq_full_cycles += 1;
+                    break;
+                }
+                OpClass::Store if self.sq_used >= self.sq_entries => {
+                    self.stats.lsq_full_cycles += 1;
+                    break;
+                }
+                _ => {}
+            }
+            // Instruction fetch: only line transitions touch the L1-I.
+            let fetch_line = op.fetch_addr.line();
+            if Some(fetch_line) != self.last_fetch_line {
+                let acc = mem.ifetch(id, fetch_line, coherent, now);
+                self.last_fetch_line = Some(fetch_line);
+                if acc.source != Source::L1 {
+                    self.fetch_stall_until = acc.complete_at;
+                    self.stats.fetch_stall_cycles += 1;
+                    break;
+                }
+            }
+
+            // Consume the op and compute its execution completion.
+            let ctx = self.context.as_mut().expect("busy core has context");
+            let (seq, op) = ctx.take();
+            let vcpu = ctx.vcpu();
+            let mut ready = now + op.exec_latency as Cycle;
+            if self.depends_on_prev(vcpu, seq) {
+                ready = ready.max(self.last_ready + 1);
+            }
+
+            let mut load_obs = None;
+            match op.class {
+                OpClass::Load => {
+                    let addr = op.data_addr.expect("load has an address");
+                    let extra = self.tlb.access(addr.page(), now) as Cycle;
+                    let acc = mem.load(id, addr.line(), coherent, now + extra);
+                    ready = ready.max(acc.complete_at);
+                    // Store-to-load forwarding: a load behind an
+                    // uncommitted store to the same line observes that
+                    // store's (deterministic) token, identically on
+                    // the vocal and mute cores.
+                    let observed = match self.inflight_stores.get(&addr.line()) {
+                        Some(&(sseq, _)) => store_token(vcpu, addr.line(), sseq),
+                        None => acc.version,
+                    };
+                    load_obs = Some((addr.line(), observed));
+                    self.lq_used += 1;
+                    self.stats.loads += 1;
+                }
+                OpClass::Store => {
+                    let addr = op.data_addr.expect("store has an address");
+                    let extra = self.tlb.access(addr.page(), now) as Cycle;
+                    // Exclusive-ownership prefetch at dispatch; the
+                    // write itself happens at commit.
+                    let acc = mem.store_acquire(id, addr.line(), coherent, now + extra);
+                    ready = ready.max(acc.complete_at);
+                    let entry = self.inflight_stores.entry(addr.line()).or_insert((seq, 0));
+                    entry.0 = seq;
+                    entry.1 += 1;
+                    self.sq_used += 1;
+                    self.stats.stores += 1;
+                }
+                OpClass::Branch if op.mispredicted => {
+                    self.redirect_stall_until = ready + self.mispredict_penalty as Cycle;
+                    self.stats.mispredicts += 1;
+                }
+                OpClass::Serializing => {
+                    self.si_in_flight = true;
+                    self.stats.serializing += 1;
+                }
+                _ => {}
+            }
+            self.last_ready = self.last_ready.max(ready);
+            if let Some(g) = self.gate.as_mut() {
+                g.on_dispatch(seq, ready, load_obs);
+            }
+            self.window.push_back(Slot {
+                seq,
+                op,
+                ready_at: ready,
+                write_issued: false,
+                filter_done: false,
+            });
+            dispatched += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::testing::FixedDelayGate;
+    use mmm_types::VmId;
+    use mmm_workload::{Benchmark, OpStream};
+
+    fn machine() -> (Core, MemorySystem) {
+        let cfg = SystemConfig::default();
+        (Core::new(CoreId(0), &cfg), MemorySystem::new(&cfg))
+    }
+
+    fn ctx(seed: u64) -> ExecContext {
+        ExecContext::new(OpStream::new(
+            Benchmark::Pmake.profile(),
+            VmId(0),
+            VcpuId(0),
+            seed,
+        ))
+    }
+
+    fn run(core: &mut Core, mem: &mut MemorySystem, cycles: u64) {
+        for now in 0..cycles {
+            core.tick(now, mem);
+        }
+    }
+
+    #[test]
+    fn idle_core_does_nothing() {
+        let (mut core, mut mem) = machine();
+        run(&mut core, &mut mem, 1000);
+        assert_eq!(core.stats().commits(), 0);
+        assert_eq!(core.stats().active_cycles, 0);
+    }
+
+    #[test]
+    fn core_commits_instructions_and_counts_privilege() {
+        let (mut core, mut mem) = machine();
+        core.set_context(ctx(1));
+        run(&mut core, &mut mem, 200_000);
+        let s = core.stats();
+        assert!(s.commits() > 10_000, "commits: {}", s.commits());
+        assert!(s.commits_user > s.commits_os, "pmake is user-heavy");
+        // IPC plausible for a 2-wide core: between 0.1 and 2.0.
+        let ipc = s.commits() as f64 / 200_000.0;
+        assert!((0.1..2.0).contains(&ipc), "ipc {ipc}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_commits() {
+        let (mut a, mut mem_a) = machine();
+        let (mut b, mut mem_b) = machine();
+        a.set_context(ctx(9));
+        b.set_context(ctx(9));
+        run(&mut a, &mut mem_a, 50_000);
+        run(&mut b, &mut mem_b, 50_000);
+        assert_eq!(a.stats().commits(), b.stats().commits());
+        assert_eq!(a.stats().commits_user, b.stats().commits_user);
+    }
+
+    #[test]
+    fn gate_delay_reduces_ipc() {
+        let (mut free, mut mem_a) = machine();
+        free.set_context(ctx(3));
+        run(&mut free, &mut mem_a, 100_000);
+
+        let (mut gated, mut mem_b) = machine();
+        gated.set_context(ctx(3));
+        gated.set_gate(Some(Box::new(FixedDelayGate {
+            delay: 20,
+            si_delay: 20,
+            ..Default::default()
+        })));
+        run(&mut gated, &mut mem_b, 100_000);
+
+        assert!(
+            gated.stats().commits() < free.stats().commits(),
+            "check delay must cost throughput: {} !< {}",
+            gated.stats().commits(),
+            free.stats().commits()
+        );
+        assert!(gated.stats().check_wait_cycles > 0);
+    }
+
+    #[test]
+    fn boundary_trap_blocks_dispatch_until_cleared() {
+        let (mut core, mut mem) = machine();
+        // Zeus enters the OS every ~50k instructions.
+        core.set_context(ExecContext::new(OpStream::new(
+            Benchmark::Zeus.profile(),
+            VmId(0),
+            VcpuId(0),
+            5,
+        )));
+        core.set_traps(true, false);
+        let mut trapped_at = None;
+        for now in 0..3_000_000u64 {
+            core.tick(now, &mut mem);
+            if core.pending_boundary().is_some() {
+                trapped_at = Some(now);
+                break;
+            }
+        }
+        let t = trapped_at.expect("Zeus eventually enters the OS");
+        assert_eq!(core.pending_boundary(), Some(Boundary::EnterOs));
+        let commits_at_trap = core.stats().commits();
+        // While trapped, the window drains but nothing new dispatches.
+        for now in t..t + 5_000 {
+            core.tick(now, &mut mem);
+        }
+        assert!(core.window_empty(), "window drains during the trap");
+        let drained = core.stats().commits();
+        for now in t + 5_000..t + 10_000 {
+            core.tick(now, &mut mem);
+        }
+        assert_eq!(core.stats().commits(), drained, "no progress while trapped");
+        assert!(drained >= commits_at_trap);
+        // After clearing, execution resumes in the OS.
+        core.clear_boundary();
+        core.set_traps(false, false);
+        for now in t + 10_000..t + 60_000 {
+            core.tick(now, &mut mem);
+        }
+        assert!(core.stats().commits_os > 0, "OS code ran after resume");
+    }
+
+    #[test]
+    fn external_stall_freezes_progress() {
+        let (mut core, mut mem) = machine();
+        core.set_context(ctx(2));
+        run(&mut core, &mut mem, 10_000);
+        let before = core.stats().commits();
+        core.stall_until(30_000);
+        for now in 10_000..30_000 {
+            core.tick(now, &mut mem);
+        }
+        assert_eq!(core.stats().commits(), before);
+        for now in 30_000..40_000 {
+            core.tick(now, &mut mem);
+        }
+        assert!(core.stats().commits() > before);
+    }
+
+    #[test]
+    fn take_context_squashes_and_preserves_commit_counts() {
+        let (mut core, mut mem) = machine();
+        core.set_context(ctx(4));
+        run(&mut core, &mut mem, 20_000);
+        let commits = core.stats().commits();
+        let taken = core.take_context(20_000).expect("context present");
+        assert_eq!(taken.commits(), commits, "context carries its counters");
+        assert!(!core.is_busy());
+        assert!(core.window_empty());
+        // The context resumes on another core deterministically.
+        let cfg = SystemConfig::default();
+        let mut other = Core::new(CoreId(1), &cfg);
+        other.set_context(taken);
+        for now in 20_000..40_000 {
+            other.tick(now, &mut mem);
+        }
+        assert!(other.stats().commits() > 0);
+    }
+
+    #[test]
+    fn serializing_instructions_stall() {
+        let (mut core, mut mem) = machine();
+        // Zeus is SI-dense in its OS phases.
+        core.set_context(ExecContext::new(OpStream::new(
+            Benchmark::Zeus.profile(),
+            VmId(0),
+            VcpuId(0),
+            11,
+        )));
+        run(&mut core, &mut mem, 300_000);
+        assert!(core.stats().serializing > 0);
+        assert!(core.stats().si_stall_cycles > 0);
+    }
+
+    #[test]
+    fn sc_vs_tso_store_behaviour() {
+        let mut cfg = SystemConfig::default();
+        let mut run_with = |consistency| {
+            cfg.consistency = consistency;
+            let mut core = Core::new(CoreId(0), &cfg);
+            let mut mem = MemorySystem::new(&cfg);
+            core.set_context(ctx(8));
+            for now in 0..150_000 {
+                core.tick(now, &mut mem);
+            }
+            core.stats().commits()
+        };
+        let sc = run_with(Consistency::Sc);
+        let tso = run_with(Consistency::Tso);
+        assert!(tso >= sc, "TSO must not be slower than SC: {tso} vs {sc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "already busy")]
+    fn double_context_is_rejected() {
+        let (mut core, _mem) = machine();
+        core.set_context(ctx(1));
+        core.set_context(ctx(2));
+    }
+
+    #[test]
+    fn store_filter_delay_slows_commits() {
+        use crate::filter::StoreFilter;
+        use mmm_types::LineAddr;
+
+        struct SlowFilter;
+        impl StoreFilter for SlowFilter {
+            fn check(
+                &mut self,
+                _core: CoreId,
+                _line: LineAddr,
+                now: Cycle,
+                _mem: &mut MemorySystem,
+            ) -> Cycle {
+                now + 25
+            }
+        }
+
+        let (mut plain, mut mem_a) = machine();
+        plain.set_context(ctx(6));
+        run(&mut plain, &mut mem_a, 100_000);
+
+        let (mut filtered, mut mem_b) = machine();
+        filtered.set_context(ctx(6));
+        filtered.set_store_filter(Some(Box::new(SlowFilter)));
+        run(&mut filtered, &mut mem_b, 100_000);
+
+        assert!(
+            filtered.stats().commits() < plain.stats().commits(),
+            "a 25-cycle store filter must cost throughput: {} !< {}",
+            filtered.stats().commits(),
+            plain.stats().commits()
+        );
+        assert!(filtered.stats().stores > 0, "stores were exercised");
+    }
+
+    #[test]
+    fn unprotected_commit_accounting_follows_the_gate() {
+        let (mut core, mut mem) = machine();
+        core.set_context(ctx(7));
+        run(&mut core, &mut mem, 30_000);
+        // No gate: everything unprotected.
+        assert_eq!(core.stats().commits_unprotected, core.stats().commits());
+        // Install a permissive gate: subsequent commits are covered.
+        // (Squash first: in-flight ops were never published to the
+        // new gate and could not be released by it.)
+        core.squash(30_000);
+        let before = core.stats().commits();
+        core.set_gate(Some(Box::new(FixedDelayGate::default())));
+        for now in 30_000..60_000 {
+            core.tick(now, &mut mem);
+        }
+        let covered = core.stats().commits() - before;
+        assert!(covered > 0);
+        assert_eq!(
+            core.stats().commits_unprotected,
+            before,
+            "gated commits must not count as unprotected"
+        );
+    }
+
+    #[test]
+    fn os_cycles_track_privilege_time() {
+        let (mut core, mut mem) = machine();
+        // Zeus spends most cycles in OS phases.
+        core.set_context(ExecContext::new(OpStream::new(
+            Benchmark::Zeus.profile(),
+            VmId(0),
+            VcpuId(0),
+            13,
+        )));
+        run(&mut core, &mut mem, 400_000);
+        let s = core.stats();
+        assert!(s.os_cycles > 0, "Zeus spends time in the OS");
+        assert!(s.os_cycles <= s.active_cycles);
+        let os_frac = s.os_cycles as f64 / s.active_cycles as f64;
+        assert!(os_frac > 0.3, "Zeus is OS-dominated in time: {os_frac:.2}");
+    }
+}

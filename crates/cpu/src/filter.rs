@@ -1,0 +1,31 @@
+//! The store filter: the core's view of the Protection Assistance
+//! Buffer.
+//!
+//! A core running in performance mode must have every store
+//! write-through re-validated outside the core before it may write the
+//! L2 (paper §3.4.1). The core model stays agnostic of the mechanism:
+//! if a filter is installed, each store consults it at commit time and
+//! is delayed until the returned cycle (PAB serial lookup, or a PAB
+//! miss fetching its PAT line through the cache hierarchy). `mmm-core`
+//! provides the PAB-backed implementation; reliable-mode cores have no
+//! filter ("when in reliable mode, the PAB is not used").
+//!
+//! Permission *verdicts* are not routed through this trait: the
+//! instruction streams of fault-free software only store to pages they
+//! own, so in-pipeline stores always pass. Wild stores produced by
+//! injected hardware faults are modelled in `mmm-core`'s fault
+//! injector, which consults the PAB directly and raises the exception
+//! the paper describes.
+
+use mmm_mem::MemorySystem;
+use mmm_types::{CoreId, Cycle, LineAddr};
+
+/// Interface between a core and its (possible) store-permission
+/// re-validation hardware.
+pub trait StoreFilter {
+    /// Called when a store is about to write through to the L2.
+    /// Returns the cycle at which the write may proceed (equal to
+    /// `now` when the check is free, later for serial lookups or PAB
+    /// misses).
+    fn check(&mut self, core: CoreId, line: LineAddr, now: Cycle, mem: &mut MemorySystem) -> Cycle;
+}

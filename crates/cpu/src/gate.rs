@@ -1,0 +1,82 @@
+//! The commit gate: the core's view of Reunion's Check stage.
+//!
+//! When a core operates as half of a DMR pair, every instruction must
+//! wait in the Check stage until its fingerprint block has been
+//! exchanged with and validated against the partner core (paper
+//! §3.2). The core model stays agnostic of the mechanism: it publishes
+//! each dispatched op's execution-completion time and observed load
+//! version, and later asks the gate when a given sequence number may
+//! commit. `mmm-reunion` provides the real pair-coupled
+//! implementation; performance-mode cores have no gate at all.
+
+use mmm_mem::VersionToken;
+use mmm_types::{Cycle, LineAddr};
+
+/// Interface between a core and its (possible) Check stage.
+pub trait CommitGate {
+    /// Reports a dispatched op: its sequence number, the cycle its
+    /// execution completes, and — for loads — the `(line, version)` it
+    /// observed, which is the input-incoherence-sensitive part of the
+    /// fingerprint.
+    fn on_dispatch(
+        &mut self,
+        seq: u64,
+        exec_done: Cycle,
+        load_obs: Option<(LineAddr, VersionToken)>,
+    );
+
+    /// Earliest cycle at which op `seq` may commit, or `None` if the
+    /// partner's fingerprint for the containing block has not arrived
+    /// yet (the op waits in Check).
+    fn commit_time(&mut self, seq: u64, now: Cycle) -> Option<Cycle>;
+
+    /// Extra fetch-stall cycles after a serializing instruction
+    /// commits: under Reunion the SI must be validated before younger
+    /// instructions may enter the pipeline (§5.1).
+    fn si_resume_delay(&self) -> u32;
+
+    /// Informs the gate that the core squashed all ops with sequence
+    /// numbers ≥ `from_seq` (pipeline flush at a mode switch); their
+    /// fingerprints will be re-published.
+    fn on_squash(&mut self, from_seq: u64);
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    use super::*;
+
+    /// A gate that releases every op `delay` cycles after its
+    /// execution completes — a stand-in for a perfectly synchronized
+    /// partner. Used by core unit tests.
+    #[derive(Debug, Default)]
+    pub struct FixedDelayGate {
+        pub delay: u32,
+        pub si_delay: u32,
+        pub published: Vec<(u64, Cycle)>,
+        pub exec_done: std::collections::HashMap<u64, Cycle>,
+    }
+
+    impl CommitGate for FixedDelayGate {
+        fn on_dispatch(
+            &mut self,
+            seq: u64,
+            exec_done: Cycle,
+            _load_obs: Option<(LineAddr, VersionToken)>,
+        ) {
+            self.published.push((seq, exec_done));
+            self.exec_done.insert(seq, exec_done);
+        }
+
+        fn commit_time(&mut self, seq: u64, _now: Cycle) -> Option<Cycle> {
+            self.exec_done.get(&seq).map(|&d| d + self.delay as Cycle)
+        }
+
+        fn si_resume_delay(&self) -> u32 {
+            self.si_delay
+        }
+
+        fn on_squash(&mut self, from_seq: u64) {
+            self.exec_done.retain(|&s, _| s < from_seq);
+        }
+    }
+}

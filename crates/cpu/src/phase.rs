@@ -1,0 +1,99 @@
+//! User/OS phase-duration tracking (Table 2 of the paper).
+//!
+//! When enabled on a core, records the distribution of cycles spent in
+//! each user phase (between returning to user code and the next OS
+//! entry) and each OS phase — the quantity Table 2 reports for the
+//! baseline system ("the average number of cycles before switching
+//! from a user application to the OS, and from the OS back").
+
+use mmm_types::stats::Log2Histogram;
+use mmm_types::Cycle;
+
+/// Accumulates user- and OS-phase durations observed at commit.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTracker {
+    /// Durations of completed user phases, cycles.
+    pub user: Log2Histogram,
+    /// Durations of completed OS phases, cycles.
+    pub os: Log2Histogram,
+    phase_start: Option<Cycle>,
+}
+
+impl PhaseTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an OS entry committing at `now`: closes a user phase.
+    pub fn on_enter_os(&mut self, now: Cycle) {
+        if let Some(start) = self.phase_start {
+            self.user.record(now.saturating_sub(start));
+        }
+        self.phase_start = Some(now);
+    }
+
+    /// Records a return to user code committing at `now`: closes an
+    /// OS phase.
+    pub fn on_exit_os(&mut self, now: Cycle) {
+        if let Some(start) = self.phase_start {
+            self.os.record(now.saturating_sub(start));
+        }
+        self.phase_start = Some(now);
+    }
+
+    /// Mean user-phase duration in cycles.
+    pub fn mean_user_cycles(&self) -> f64 {
+        self.user.mean()
+    }
+
+    /// Mean OS-phase duration in cycles.
+    pub fn mean_os_cycles(&self) -> f64 {
+        self.os.mean()
+    }
+
+    /// Merges another tracker's distributions.
+    pub fn merge(&mut self, other: &PhaseTracker) {
+        self.user.merge(&other.user);
+        self.os.merge(&other.os);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternating_phases_are_measured() {
+        let mut t = PhaseTracker::new();
+        t.on_exit_os(0); // start of user phase at 0
+        t.on_enter_os(1000); // user phase: 1000
+        t.on_exit_os(1400); // os phase: 400
+        t.on_enter_os(2400); // user: 1000
+        assert_eq!(t.user.count(), 2);
+        assert_eq!(t.os.count(), 1);
+        assert!((t.mean_user_cycles() - 1000.0).abs() < 1e-9);
+        assert!((t.mean_os_cycles() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_event_opens_without_recording() {
+        let mut t = PhaseTracker::new();
+        t.on_enter_os(500);
+        assert_eq!(t.user.count(), 0);
+        assert_eq!(t.os.count(), 0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = PhaseTracker::new();
+        a.on_exit_os(0);
+        a.on_enter_os(100);
+        let mut b = PhaseTracker::new();
+        b.on_exit_os(0);
+        b.on_enter_os(300);
+        a.merge(&b);
+        assert_eq!(a.user.count(), 2);
+        assert!((a.mean_user_cycles() - 200.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-core event counters.
+
+/// Counters accumulated by one core.
+///
+/// These drive the paper's §5.1 diagnostics: window-full cycles
+/// (Reunion roughly doubles them), serializing-instruction fetch
+/// stalls (15–46% of cycles under Reunion), and the per-thread IPC
+/// numerators (`commits_user`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Cycles the core had a context installed.
+    pub active_cycles: u64,
+    /// Active cycles during which the installed stream was executing
+    /// OS-level code (per-privilege time attribution for Table 2 and
+    /// calibration).
+    pub os_cycles: u64,
+    /// User-level instructions committed.
+    pub commits_user: u64,
+    /// OS-level instructions committed.
+    pub commits_os: u64,
+    /// Instructions committed *without* DMR protection (no commit gate
+    /// installed). `commits() - commits_unprotected` is the
+    /// DMR-covered work — the machine's reliability-coverage metric.
+    pub commits_unprotected: u64,
+    /// Cycles dispatch was blocked because the window was full.
+    pub window_full_cycles: u64,
+    /// Cycles dispatch was blocked because the LSQ was full.
+    pub lsq_full_cycles: u64,
+    /// Cycles fetch/dispatch stalled on a serializing instruction
+    /// (drain + post-commit validation).
+    pub si_stall_cycles: u64,
+    /// Cycles fetch stalled on an L1-I miss.
+    pub fetch_stall_cycles: u64,
+    /// Cycles dispatch stalled on a branch misprediction redirect.
+    pub mispredict_stall_cycles: u64,
+    /// Cycles the head op was execution-ready but held in Check
+    /// waiting for the partner fingerprint.
+    pub check_wait_cycles: u64,
+    /// Dispatched loads.
+    pub loads: u64,
+    /// Dispatched stores.
+    pub stores: u64,
+    /// Dispatched serializing instructions.
+    pub serializing: u64,
+    /// Mispredicted branches dispatched.
+    pub mispredicts: u64,
+    /// Pipeline squashes requested from outside (mode switches).
+    pub squashes: u64,
+}
+
+impl CoreStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total committed instructions.
+    pub fn commits(&self) -> u64 {
+        self.commits_user + self.commits_os
+    }
+
+    /// User IPC over this core's active cycles — the paper's
+    /// per-thread performance metric (§5.1: "the number of User
+    /// instructions committed divided by the total number of cycles").
+    pub fn user_ipc(&self) -> f64 {
+        if self.active_cycles == 0 {
+            0.0
+        } else {
+            self.commits_user as f64 / self.active_cycles as f64
+        }
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, o: &CoreStats) {
+        self.active_cycles += o.active_cycles;
+        self.os_cycles += o.os_cycles;
+        self.commits_user += o.commits_user;
+        self.commits_os += o.commits_os;
+        self.commits_unprotected += o.commits_unprotected;
+        self.window_full_cycles += o.window_full_cycles;
+        self.lsq_full_cycles += o.lsq_full_cycles;
+        self.si_stall_cycles += o.si_stall_cycles;
+        self.fetch_stall_cycles += o.fetch_stall_cycles;
+        self.mispredict_stall_cycles += o.mispredict_stall_cycles;
+        self.check_wait_cycles += o.check_wait_cycles;
+        self.loads += o.loads;
+        self.stores += o.stores;
+        self.serializing += o.serializing;
+        self.mispredicts += o.mispredicts;
+        self.squashes += o.squashes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_idle() {
+        assert_eq!(CoreStats::new().user_ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_math() {
+        let s = CoreStats {
+            active_cycles: 1000,
+            commits_user: 800,
+            commits_os: 100,
+            ..Default::default()
+        };
+        assert!((s.user_ipc() - 0.8).abs() < 1e-12);
+        assert_eq!(s.commits(), 900);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CoreStats {
+            commits_user: 5,
+            si_stall_cycles: 2,
+            ..Default::default()
+        };
+        let b = CoreStats {
+            commits_user: 7,
+            window_full_cycles: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.commits_user, 12);
+        assert_eq!(a.si_stall_cycles, 2);
+        assert_eq!(a.window_full_cycles, 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! A hardware-filled TLB.
+//!
+//! The paper models a hardware-filled TLB "in order to not overstate
+//! the penalty of DMR" (§4.1) — software TLB fills on SPARC would
+//! otherwise inflate the count of serializing instructions. A miss
+//! therefore costs a fixed fill latency rather than a trap.
+//!
+//! The TLB is also a *fault site*: a bit flip in the TLB array or its
+//! permission-check logic is the paper's canonical example of how a
+//! performance-mode core can emit a wild store (§3.4.1) — the event
+//! the Protection Assistance Buffer exists to catch. The fault hook
+//! lives in `mmm-core`'s fault injector; this module only provides the
+//! timing and the demap interface.
+
+use mmm_types::{Cycle, PageAddr};
+
+#[derive(Clone, Copy, Debug)]
+struct TlbSlot {
+    page: PageAddr,
+    lru: u64,
+}
+
+/// Fully associative, LRU-replaced TLB with hardware fill.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    slots: Vec<Option<TlbSlot>>,
+    fill_latency: u32,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` slots and the given fill latency.
+    pub fn new(entries: u32, fill_latency: u32) -> Self {
+        assert!(entries > 0, "TLB must have entries");
+        Self {
+            slots: vec![None; entries as usize],
+            fill_latency,
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates an access to `page`; returns the added latency
+    /// (0 on a hit, the fill latency on a miss).
+    pub fn access(&mut self, page: PageAddr, _now: Cycle) -> u32 {
+        self.stamp += 1;
+        if let Some(slot) = self.slots.iter_mut().flatten().find(|s| s.page == page) {
+            slot.lru = self.stamp;
+            self.hits += 1;
+            return 0;
+        }
+        self.misses += 1;
+        let stamp = self.stamp;
+        if let Some(empty) = self.slots.iter_mut().find(|s| s.is_none()) {
+            *empty = Some(TlbSlot { page, lru: stamp });
+        } else {
+            let victim = self
+                .slots
+                .iter_mut()
+                .min_by_key(|s| s.map(|x| x.lru).unwrap_or(0))
+                .expect("nonzero entries");
+            *victim = Some(TlbSlot { page, lru: stamp });
+        }
+        self.fill_latency
+    }
+
+    /// Removes a translation (TLB demap). The PAB mirrors this event
+    /// to stay coherent (paper §3.4.1).
+    pub fn demap(&mut self, page: PageAddr) -> bool {
+        for slot in &mut self.slots {
+            if slot.map(|s| s.page) == Some(page) {
+                *slot = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether a translation is resident (diagnostics).
+    pub fn contains(&self, page: PageAddr) -> bool {
+        self.slots.iter().flatten().any(|s| s.page == page)
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Empties the TLB (context/VM switch).
+    pub fn flush(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = Tlb::new(4, 30);
+        assert_eq!(t.access(PageAddr(1), 0), 30);
+        assert_eq!(t.access(PageAddr(1), 1), 0);
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2, 30);
+        t.access(PageAddr(1), 0);
+        t.access(PageAddr(2), 1);
+        t.access(PageAddr(1), 2); // 2 is now LRU
+        t.access(PageAddr(3), 3); // evicts 2
+        assert!(t.contains(PageAddr(1)));
+        assert!(!t.contains(PageAddr(2)));
+        assert!(t.contains(PageAddr(3)));
+    }
+
+    #[test]
+    fn demap_removes() {
+        let mut t = Tlb::new(4, 30);
+        t.access(PageAddr(5), 0);
+        assert!(t.demap(PageAddr(5)));
+        assert!(!t.demap(PageAddr(5)));
+        assert_eq!(t.access(PageAddr(5), 1), 30, "refill after demap");
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = Tlb::new(4, 30);
+        t.access(PageAddr(1), 0);
+        t.access(PageAddr(2), 0);
+        t.flush();
+        assert!(!t.contains(PageAddr(1)));
+        assert!(!t.contains(PageAddr(2)));
+    }
+}

@@ -1,0 +1,334 @@
+//! Generic set-associative cache with true-LRU replacement.
+//!
+//! Used for the L1s, the private L2s, and the shared L3 (and, in the
+//! `mmm-core` crate, for the Protection Assistance Buffer). One
+//! structure serves all levels; level-specific behaviour (write-through,
+//! exclusivity, coherence) lives in [`crate::system::MemorySystem`].
+
+use mmm_types::config::CacheGeometry;
+use mmm_types::LineAddr;
+
+use crate::request::VersionToken;
+
+/// MOSI coherence state of a cached line.
+///
+/// The L1s piggyback on their L2's state (write-through, inclusive);
+/// lines resident in an L1 are recorded there simply as present. The
+/// L3 uses only `S` (clean) and `M`/`O` (dirty) flavours of presence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mosi {
+    /// Modified: dirty, sole copy among L2s.
+    Modified,
+    /// Owned: dirty, other shared copies may exist; this cache
+    /// responds to requests.
+    Owned,
+    /// Shared: clean copy, possibly one of several.
+    Shared,
+}
+
+impl Mosi {
+    /// Whether this state holds dirty data.
+    #[inline]
+    pub fn is_dirty(self) -> bool {
+        matches!(self, Mosi::Modified | Mosi::Owned)
+    }
+
+    /// Whether this state confers write permission without an upgrade.
+    #[inline]
+    pub fn can_write(self) -> bool {
+        self == Mosi::Modified
+    }
+}
+
+/// One resident cache line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheLine {
+    /// The line's physical address (line-granular).
+    pub addr: LineAddr,
+    /// Coherence state.
+    pub state: Mosi,
+    /// Version token of the data held (see [`crate::request`]).
+    pub version: VersionToken,
+    /// Whether the copy is coherent with the system. Mute cores fill
+    /// lines incoherently during Reunion execution; during mode
+    /// switches they also hold coherent lines (VCPU state), which is
+    /// why this is a per-line bit — exactly the bit the paper adds to
+    /// each line's state field (§3.4.3).
+    pub coherent: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    line: Option<CacheLine>,
+    lru: u64,
+}
+
+/// A set-associative cache with true-LRU replacement.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    sets: Vec<Slot>,
+    ways: usize,
+    set_mask: u64,
+    stamp: u64,
+}
+
+impl SetAssocCache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry fails validation.
+    pub fn new(geom: CacheGeometry) -> Self {
+        geom.validate().expect("invalid cache geometry");
+        let sets = geom.sets() as usize;
+        let ways = geom.associativity as usize;
+        Self {
+            sets: vec![Slot { line: None, lru: 0 }; sets * ways],
+            ways,
+            set_mask: sets as u64 - 1,
+            stamp: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn set_count(&self) -> usize {
+        self.sets.len() / self.ways
+    }
+
+    /// Total slots (sets × ways).
+    pub fn slot_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    #[inline]
+    fn set_range(&self, addr: LineAddr) -> std::ops::Range<usize> {
+        let set = (addr.0 & self.set_mask) as usize;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Looks up `addr`; on a hit, refreshes LRU and returns a mutable
+    /// reference to the line.
+    pub fn lookup(&mut self, addr: LineAddr) -> Option<&mut CacheLine> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let range = self.set_range(addr);
+        self.sets[range]
+            .iter_mut()
+            .find(|s| s.line.map(|l| l.addr) == Some(addr))
+            .map(|s| {
+                s.lru = stamp;
+                s.line.as_mut().expect("found slot holds a line")
+            })
+    }
+
+    /// Looks up `addr` without touching LRU state (for probes that
+    /// must not perturb replacement, e.g. mute best-effort reads of
+    /// other caches and directory consistency checks).
+    pub fn peek(&self, addr: LineAddr) -> Option<&CacheLine> {
+        let range = self.set_range(addr);
+        self.sets[range]
+            .iter()
+            .filter_map(|s| s.line.as_ref())
+            .find(|l| l.addr == addr)
+    }
+
+    /// Inserts a line, evicting the LRU victim of its set if full.
+    /// Returns the victim. If the address is already resident, the
+    /// existing line is overwritten in place and `None` is returned.
+    pub fn insert(&mut self, line: CacheLine) -> Option<CacheLine> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let range = self.set_range(line.addr);
+        let set = &mut self.sets[range];
+        // Overwrite an existing copy of the same address.
+        if let Some(slot) = set
+            .iter_mut()
+            .find(|s| s.line.map(|l| l.addr) == Some(line.addr))
+        {
+            slot.line = Some(line);
+            slot.lru = stamp;
+            return None;
+        }
+        // Fill an empty way.
+        if let Some(slot) = set.iter_mut().find(|s| s.line.is_none()) {
+            slot.line = Some(line);
+            slot.lru = stamp;
+            return None;
+        }
+        // Evict LRU.
+        let victim_slot = set
+            .iter_mut()
+            .min_by_key(|s| s.lru)
+            .expect("nonzero associativity");
+        let victim = victim_slot.line.replace(line);
+        victim_slot.lru = stamp;
+        victim
+    }
+
+    /// Removes `addr` if present, returning the line.
+    pub fn invalidate(&mut self, addr: LineAddr) -> Option<CacheLine> {
+        let range = self.set_range(addr);
+        self.sets[range]
+            .iter_mut()
+            .find(|s| s.line.map(|l| l.addr) == Some(addr))
+            .and_then(|s| s.line.take())
+    }
+
+    /// Iterates over all resident lines.
+    pub fn iter_lines(&self) -> impl Iterator<Item = &CacheLine> {
+        self.sets.iter().filter_map(|s| s.line.as_ref())
+    }
+
+    /// Removes every line matching `pred`, returning the removed lines.
+    pub fn drain_matching(&mut self, mut pred: impl FnMut(&CacheLine) -> bool) -> Vec<CacheLine> {
+        let mut out = Vec::new();
+        for slot in &mut self.sets {
+            if let Some(line) = slot.line {
+                if pred(&line) {
+                    out.push(line);
+                    slot.line = None;
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().filter(|s| s.line.is_some()).count()
+    }
+
+    /// Empties the cache completely.
+    pub fn clear(&mut self) {
+        for slot in &mut self.sets {
+            slot.line = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_types::config::CacheGeometry;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways.
+        SetAssocCache::new(CacheGeometry::new(8 * 64, 2).unwrap())
+    }
+
+    fn line(addr: u64) -> CacheLine {
+        CacheLine {
+            addr: LineAddr(addr),
+            state: Mosi::Shared,
+            version: 0,
+            coherent: true,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny();
+        assert!(c.insert(line(0x10)).is_none());
+        assert!(c.lookup(LineAddr(0x10)).is_some());
+        assert!(c.lookup(LineAddr(0x11)).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set index = addr & 3. Use addrs 0,4,8 -> all set 0.
+        c.insert(line(0));
+        c.insert(line(4));
+        c.lookup(LineAddr(0)); // 0 becomes MRU; 4 is LRU
+        let victim = c.insert(line(8)).expect("full set must evict");
+        assert_eq!(victim.addr, LineAddr(4));
+        assert!(c.peek(LineAddr(0)).is_some());
+        assert!(c.peek(LineAddr(8)).is_some());
+    }
+
+    #[test]
+    fn insert_same_addr_overwrites_without_eviction() {
+        let mut c = tiny();
+        c.insert(line(0));
+        c.insert(line(4));
+        let mut updated = line(0);
+        updated.state = Mosi::Modified;
+        assert!(c.insert(updated).is_none());
+        assert_eq!(c.peek(LineAddr(0)).unwrap().state, Mosi::Modified);
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_perturb_lru() {
+        let mut c = tiny();
+        c.insert(line(0));
+        c.insert(line(4));
+        c.peek(LineAddr(0)); // must NOT refresh 0
+                             // lookup(4) makes 4 MRU; 0 remains LRU regardless of the peek.
+        c.lookup(LineAddr(4));
+        let victim = c.insert(line(8)).unwrap();
+        assert_eq!(victim.addr, LineAddr(0));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.insert(line(7));
+        assert!(c.invalidate(LineAddr(7)).is_some());
+        assert!(c.lookup(LineAddr(7)).is_none());
+        assert!(c.invalidate(LineAddr(7)).is_none());
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = tiny();
+        for a in 0..100 {
+            c.insert(line(a));
+            assert!(c.occupancy() <= c.slot_count());
+        }
+        assert_eq!(c.occupancy(), 8);
+    }
+
+    #[test]
+    fn drain_matching_filters() {
+        let mut c = tiny();
+        for a in 0..8 {
+            let mut l = line(a);
+            l.coherent = a % 2 == 0;
+            c.insert(l);
+        }
+        let drained = c.drain_matching(|l| !l.coherent);
+        assert_eq!(drained.len(), 4);
+        assert!(c.iter_lines().all(|l| l.coherent));
+    }
+
+    #[test]
+    fn sets_isolate_addresses() {
+        let mut c = tiny();
+        // Addresses 0..4 map to distinct sets; filling them must not evict.
+        for a in 0..4 {
+            assert!(c.insert(line(a)).is_none());
+        }
+        for a in 0..4 {
+            assert!(c.peek(LineAddr(a)).is_some());
+        }
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = tiny();
+        c.insert(line(1));
+        c.clear();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn mosi_predicates() {
+        assert!(Mosi::Modified.is_dirty());
+        assert!(Mosi::Owned.is_dirty());
+        assert!(!Mosi::Shared.is_dirty());
+        assert!(Mosi::Modified.can_write());
+        assert!(!Mosi::Owned.can_write());
+        assert!(!Mosi::Shared.can_write());
+    }
+}

@@ -1,0 +1,129 @@
+//! Off-chip DRAM: fixed load-to-use latency plus an occupancy-based
+//! bandwidth model.
+//!
+//! The paper's machine has 350-cycle load-to-use main memory behind
+//! 40 GB/s of off-chip bandwidth (§4.1). Bandwidth is modelled as a
+//! single channel whose busy time advances by `line_bytes /
+//! bytes_per_cycle` per transferred line; a request arriving while the
+//! channel is busy queues behind it. This is what makes the
+//! `No DMR 2X` configuration (16 active VCPUs) feel roughly twice the
+//! memory pressure of the 8-VCPU configurations, as the paper's §5.1
+//! discussion requires.
+
+use mmm_types::{Cycle, LineAddr};
+
+/// The DRAM channel.
+#[derive(Clone, Debug)]
+pub struct Dram {
+    latency: u32,
+    cycles_per_line: u32,
+    busy_until: Cycle,
+    lines_read: u64,
+    lines_written: u64,
+    queue_cycles: u64,
+}
+
+impl Dram {
+    /// Creates a channel with the given load-to-use latency and
+    /// bandwidth (bytes per core cycle).
+    pub fn new(latency: u32, bytes_per_cycle: u32) -> Self {
+        assert!(bytes_per_cycle > 0, "bandwidth must be nonzero");
+        Self {
+            latency,
+            cycles_per_line: (mmm_types::ids::LINE_BYTES as u32).div_ceil(bytes_per_cycle),
+            busy_until: 0,
+            lines_read: 0,
+            lines_written: 0,
+            queue_cycles: 0,
+        }
+    }
+
+    /// Issues a demand line read at `now`; returns the cycle the data
+    /// is usable.
+    pub fn read(&mut self, _line: LineAddr, now: Cycle) -> Cycle {
+        let start = self.busy_until.max(now);
+        self.queue_cycles += start - now;
+        self.busy_until = start + self.cycles_per_line as Cycle;
+        self.lines_read += 1;
+        start + self.latency as Cycle
+    }
+
+    /// Issues a writeback at `now`. Writebacks consume bandwidth but
+    /// are off the critical path; no completion time is returned.
+    pub fn write_back(&mut self, _line: LineAddr, now: Cycle) {
+        let start = self.busy_until.max(now);
+        self.busy_until = start + self.cycles_per_line as Cycle;
+        self.lines_written += 1;
+    }
+
+    /// Total demand lines read.
+    pub fn lines_read(&self) -> u64 {
+        self.lines_read
+    }
+
+    /// Total lines written back.
+    pub fn lines_written(&self) -> u64 {
+        self.lines_written
+    }
+
+    /// Total cycles demand reads spent queued behind the channel.
+    pub fn queue_cycles(&self) -> u64 {
+        self.queue_cycles
+    }
+
+    /// Cycle through which the channel is currently busy.
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unloaded_read_costs_latency() {
+        let mut d = Dram::new(350, 13);
+        assert_eq!(d.read(LineAddr(1), 1000), 1350);
+        assert_eq!(d.lines_read(), 1);
+        assert_eq!(d.queue_cycles(), 0);
+    }
+
+    #[test]
+    fn back_to_back_reads_queue_on_bandwidth() {
+        let mut d = Dram::new(350, 13);
+        // 64/13 -> 5 cycles per line.
+        let a = d.read(LineAddr(1), 0);
+        let b = d.read(LineAddr(2), 0);
+        let c = d.read(LineAddr(3), 0);
+        assert_eq!(a, 350);
+        assert_eq!(b, 355);
+        assert_eq!(c, 360);
+        assert_eq!(d.queue_cycles(), 5 + 10);
+    }
+
+    #[test]
+    fn channel_drains_when_idle() {
+        let mut d = Dram::new(350, 13);
+        d.read(LineAddr(1), 0);
+        // Long after the channel drained, no queuing remains.
+        assert_eq!(d.read(LineAddr(2), 10_000), 10_350);
+    }
+
+    #[test]
+    fn writebacks_consume_bandwidth_but_return_nothing() {
+        let mut d = Dram::new(350, 13);
+        d.write_back(LineAddr(9), 0);
+        assert_eq!(d.lines_written(), 1);
+        // A demand read right behind the writeback queues 5 cycles.
+        assert_eq!(d.read(LineAddr(1), 0), 355);
+    }
+
+    #[test]
+    fn bandwidth_rounds_up() {
+        let d = Dram::new(100, 60); // 64/60 -> 2 cycles
+        assert_eq!(d.cycles_per_line, 2);
+        let d = Dram::new(100, 64);
+        assert_eq!(d.cycles_per_line, 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Request/response types exchanged between cores and the memory
+//! system.
+
+use mmm_types::{Cycle, LineAddr, VcpuId};
+
+/// A version token: the stand-in for a line's data value.
+///
+/// Tokens are equal exactly when the bytes would be equal in a
+/// functional simulation of the redundant pair: the same dynamic store
+/// of the same software thread produces the same token on the vocal
+/// and the mute core, while a store by any other thread produces a
+/// different token.
+pub type VersionToken = u64;
+
+/// Computes the version token for the `seq`-th dynamic instruction of
+/// `vcpu` storing to `line`.
+///
+/// Uses a strong 64-bit mix (SplitMix64 finalizer) so distinct inputs
+/// collide with negligible probability.
+#[inline]
+pub fn store_token(vcpu: VcpuId, line: LineAddr, seq: u64) -> VersionToken {
+    let mut x = (vcpu.0 as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(line.0)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(seq);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// The token of a line never written since simulation start ("initial
+/// memory image"): a pure function of the address so that vocal and
+/// mute observe identical tokens for untouched memory.
+#[inline]
+pub fn initial_token(line: LineAddr) -> VersionToken {
+    line.0.wrapping_mul(0xD6E8_FEB8_6659_FD93) | 1
+}
+
+/// Where a request was ultimately serviced from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// Private L1 hit.
+    L1,
+    /// Private L2 hit.
+    L2,
+    /// Shared L3 hit (2-hop).
+    L3,
+    /// Cache-to-cache transfer from another core's L2 (3-hop).
+    CacheToCache,
+    /// Off-chip DRAM.
+    Dram,
+}
+
+/// Completion record for one memory request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Cycle at which the requested data is usable.
+    pub complete_at: Cycle,
+    /// Version token observed (meaningful for loads).
+    pub version: VersionToken,
+    /// Service point.
+    pub source: Source,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_dynamic_store_same_token() {
+        let a = store_token(VcpuId(3), LineAddr(0x1000), 77);
+        let b = store_token(VcpuId(3), LineAddr(0x1000), 77);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_thread_or_seq_different_token() {
+        let base = store_token(VcpuId(3), LineAddr(0x1000), 77);
+        assert_ne!(base, store_token(VcpuId(4), LineAddr(0x1000), 77));
+        assert_ne!(base, store_token(VcpuId(3), LineAddr(0x1001), 77));
+        assert_ne!(base, store_token(VcpuId(3), LineAddr(0x1000), 78));
+    }
+
+    #[test]
+    fn initial_tokens_are_stable_and_distinct() {
+        assert_eq!(initial_token(LineAddr(5)), initial_token(LineAddr(5)));
+        assert_ne!(initial_token(LineAddr(5)), initial_token(LineAddr(6)));
+    }
+
+    #[test]
+    fn token_collisions_are_rare() {
+        let mut seen = std::collections::HashSet::new();
+        for seq in 0..10_000u64 {
+            assert!(seen.insert(store_token(VcpuId(1), LineAddr(42), seq)));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Memory-system event counters.
+
+/// Counters accumulated by [`crate::system::MemorySystem`].
+///
+/// All counts are machine-wide; per-core breakdowns live in the core
+/// model's own statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// L1-I hits.
+    pub l1i_hits: u64,
+    /// L1-I misses.
+    pub l1i_misses: u64,
+    /// L1-D hits.
+    pub l1d_hits: u64,
+    /// L1-D misses.
+    pub l1d_misses: u64,
+    /// Private-L2 hits (data or instruction).
+    pub l2_hits: u64,
+    /// Private-L2 misses that left the core.
+    pub l2_misses: u64,
+    /// Shared-L3 hits (2-hop).
+    pub l3_hits: u64,
+    /// Cache-to-cache transfers from another core's L2 (3-hop). The
+    /// paper's §5.1 reports these growing 20–50% under Reunion
+    /// (pmake: +220%).
+    pub c2c_transfers: u64,
+    /// Demand reads served by DRAM.
+    pub dram_reads: u64,
+    /// Store upgrades (S/O → M) that invalidated remote copies.
+    pub upgrades: u64,
+    /// Invalidation messages delivered to remote caches.
+    pub invalidations: u64,
+    /// Lines filled incoherently by mute cores.
+    pub incoherent_fills: u64,
+    /// Mute loads that observed a stale version token (input
+    /// incoherence; will surface as a fingerprint mismatch).
+    pub stale_mute_hits: u64,
+    /// Lines written back from L2/L3 toward memory.
+    pub writebacks: u64,
+    /// Mute-cache flush operations (Leave-DMR in MMM-TP).
+    pub flushes: u64,
+    /// Total cycles spent in flush walks.
+    pub flush_cycles: u64,
+    /// Cycles requests queued on L3/directory banks (0 unless the
+    /// optional contention model is enabled).
+    pub bank_queue_cycles: u64,
+}
+
+impl MemStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total demand loads (data side).
+    pub fn loads(&self) -> u64 {
+        self.l1d_hits + self.l1d_misses
+    }
+
+    /// L1-D miss ratio (0 when idle).
+    pub fn l1d_miss_ratio(&self) -> f64 {
+        let total = self.l1d_hits + self.l1d_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1d_misses as f64 / total as f64
+        }
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, o: &MemStats) {
+        self.l1i_hits += o.l1i_hits;
+        self.l1i_misses += o.l1i_misses;
+        self.l1d_hits += o.l1d_hits;
+        self.l1d_misses += o.l1d_misses;
+        self.l2_hits += o.l2_hits;
+        self.l2_misses += o.l2_misses;
+        self.l3_hits += o.l3_hits;
+        self.c2c_transfers += o.c2c_transfers;
+        self.dram_reads += o.dram_reads;
+        self.upgrades += o.upgrades;
+        self.invalidations += o.invalidations;
+        self.incoherent_fills += o.incoherent_fills;
+        self.stale_mute_hits += o.stale_mute_hits;
+        self.writebacks += o.writebacks;
+        self.flushes += o.flushes;
+        self.flush_cycles += o.flush_cycles;
+        self.bank_queue_cycles += o.bank_queue_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero() {
+        let s = MemStats::new();
+        assert_eq!(s.l1d_miss_ratio(), 0.0);
+        assert_eq!(s.loads(), 0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = MemStats {
+            l1d_hits: 3,
+            c2c_transfers: 2,
+            ..Default::default()
+        };
+        let b = MemStats {
+            l1d_hits: 1,
+            dram_reads: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.l1d_hits, 4);
+        assert_eq!(a.c2c_transfers, 2);
+        assert_eq!(a.dram_reads, 5);
+    }
+
+    #[test]
+    fn miss_ratio_math() {
+        let s = MemStats {
+            l1d_hits: 75,
+            l1d_misses: 25,
+            ..Default::default()
+        };
+        assert!((s.l1d_miss_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(s.loads(), 100);
+    }
+}

@@ -1,0 +1,211 @@
+//! Property tests for the memory system's coherence invariants.
+//!
+//! Random interleavings of coherent and incoherent (mute) operations
+//! across cores must preserve, at every step:
+//!
+//! 1. at most one owner per line, and the owner really holds it dirty;
+//! 2. a coherent load always observes the globally current version;
+//! 3. mute requests never perturb the directory;
+//! 4. mute stores never become globally visible;
+//! 5. cache occupancies never exceed capacity.
+
+use proptest::prelude::*;
+
+use mmm_mem::request::store_token;
+use mmm_mem::MemorySystem;
+use mmm_types::{CoreId, LineAddr, SystemConfig, VcpuId};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Load { core: u8, line: u8, coherent: bool },
+    Store { core: u8, line: u8, coherent: bool },
+    Ifetch { core: u8, line: u8 },
+    Heal { core: u8, line: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..8u8, 0..24u8, any::<bool>()).prop_map(|(core, line, coherent)| Op::Load {
+            core,
+            line,
+            coherent
+        }),
+        (0..8u8, 0..24u8, any::<bool>()).prop_map(|(core, line, coherent)| Op::Store {
+            core,
+            line,
+            coherent
+        }),
+        (0..8u8, 0..24u8).prop_map(|(core, line)| Op::Ifetch { core, line }),
+        (0..8u8, 0..24u8).prop_map(|(core, line)| Op::Heal { core, line }),
+    ]
+}
+
+fn line_addr(i: u8) -> LineAddr {
+    // Spread lines across sets and pages.
+    LineAddr(0x4_0000 + i as u64 * 97)
+}
+
+fn check_invariants(mem: &MemorySystem, lines: &[LineAddr]) {
+    for &line in lines {
+        let entry = mem.directory().entry(line);
+        if let Some(owner) = entry.owner {
+            let held = mem
+                .peek_l2(owner, line)
+                .expect("directory owner must hold the line");
+            assert!(held.coherent, "owner's copy must be coherent");
+            assert!(
+                held.state.is_dirty(),
+                "owner must hold Modified/Owned, got {:?}",
+                held.state
+            );
+        }
+        // Every core recorded as sharer that holds a copy must hold it
+        // coherent. (A directory sharer may have no copy transiently
+        // only if we dropped it via invalidation — which removes the
+        // sharer bit — so presence is required.)
+        for core in entry.sharer_cores() {
+            if let Some(copy) = mem.peek_l2(core, line) {
+                assert!(copy.coherent, "tracked sharer holds incoherent copy");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coherence_invariants_hold_under_random_traffic(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let cfg = SystemConfig::default();
+        let mut mem = MemorySystem::new(&cfg);
+        let lines: Vec<LineAddr> = (0..24u8).map(line_addr).collect();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for op in &ops {
+            now += 7;
+            match *op {
+                Op::Load { core, line, coherent } => {
+                    let l = line_addr(line);
+                    let acc = mem.load(CoreId(core as u16), l, coherent, now);
+                    if coherent {
+                        prop_assert_eq!(
+                            acc.version,
+                            mem.current_version(l),
+                            "coherent load must observe the current version"
+                        );
+                    }
+                }
+                Op::Store { core, line, coherent } => {
+                    seq += 1;
+                    let l = line_addr(line);
+                    let c = CoreId(core as u16);
+                    let token = store_token(VcpuId(core as u16), l, seq);
+                    let before = mem.current_version(l);
+                    mem.store_acquire(c, l, coherent, now);
+                    mem.store_commit(c, l, token, coherent, now + 1);
+                    if coherent {
+                        prop_assert_eq!(mem.current_version(l), token);
+                    } else {
+                        prop_assert_eq!(
+                            mem.current_version(l), before,
+                            "mute stores must stay invisible"
+                        );
+                    }
+                }
+                Op::Ifetch { core, line } => {
+                    mem.ifetch(CoreId(core as u16), line_addr(line), true, now);
+                }
+                Op::Heal { core, line } => {
+                    mem.heal_line(CoreId(core as u16), line_addr(line));
+                }
+            }
+            check_invariants(&mem, &lines);
+        }
+    }
+
+    #[test]
+    fn mute_traffic_never_touches_the_directory(
+        ops in prop::collection::vec((0..4u8, 0..16u8, any::<bool>()), 1..200)
+    ) {
+        let cfg = SystemConfig::default();
+        let mut mem = MemorySystem::new(&cfg);
+        // Mute core 7 issues arbitrary incoherent traffic interleaved
+        // with coherent traffic from cores 0..4.
+        let mute = CoreId(7);
+        let mut now = 0;
+        let mut seq = 0u64;
+        for &(core, line, is_store) in &ops {
+            now += 5;
+            let l = line_addr(line);
+            // Coherent op from a low core.
+            if is_store {
+                seq += 1;
+                mem.store_acquire(CoreId(core as u16), l, true, now);
+                mem.store_commit(
+                    CoreId(core as u16),
+                    l,
+                    store_token(VcpuId(core as u16), l, seq),
+                    true,
+                    now,
+                );
+            } else {
+                mem.load(CoreId(core as u16), l, true, now);
+            }
+            // Mute mirror op.
+            if is_store {
+                mem.store_acquire(mute, l, false, now + 1);
+                mem.store_commit(
+                    mute,
+                    l,
+                    store_token(VcpuId(core as u16), l, seq),
+                    false,
+                    now + 1,
+                );
+            } else {
+                mem.load(mute, l, false, now + 1);
+            }
+            prop_assert!(
+                !mem.directory().entry(l).has_sharer(mute),
+                "mute must never appear in the directory"
+            );
+            prop_assert_ne!(mem.directory().entry(l).owner, Some(mute));
+        }
+    }
+
+    #[test]
+    fn flush_mute_leaves_no_incoherent_lines(
+        fills in prop::collection::vec((0..64u8, any::<bool>()), 1..100)
+    ) {
+        let cfg = SystemConfig::default();
+        let mut mem = MemorySystem::new(&cfg);
+        let mute = CoreId(3);
+        let mut now = 0;
+        let mut seq = 0u64;
+        for &(line, store) in &fills {
+            now += 3;
+            let l = line_addr(line % 24);
+            if store {
+                seq += 1;
+                mem.store_acquire(mute, l, false, now);
+                mem.store_commit(mute, l, store_token(VcpuId(9), l, seq), false, now);
+            } else {
+                mem.load(mute, l, false, now);
+            }
+        }
+        let out = mem.flush_mute(mute, now + 10);
+        prop_assert!(out.complete_at > now + 10);
+        // After the flush, no line in the mute's L2 is incoherent.
+        for i in 0..64u8 {
+            if let Some(l) = mem.peek_l2(mute, line_addr(i % 24)) {
+                prop_assert!(l.coherent, "incoherent line survived the flush");
+            }
+        }
+        // And nothing incoherent became globally visible.
+        for i in 0..24u8 {
+            let l = line_addr(i);
+            if let Some(l3) = mem.peek_l3(l) {
+                prop_assert!(l3.coherent);
+            }
+        }
+    }
+}

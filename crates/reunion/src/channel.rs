@@ -1,0 +1,387 @@
+//! The fingerprint exchange channel between the two cores of a pair.
+//!
+//! Each side publishes, in dispatch order, the execution-completion
+//! time of every instruction plus — for loads — the `(line, version)`
+//! observed. The channel releases an instruction for commit once both
+//! sides have published it and the fingerprint latency has elapsed,
+//! mirroring the Check stage: `release(seq) = max(vocal progress,
+//! mute progress through seq) + fingerprint latency + Check depth`.
+//!
+//! Version mismatches (input incoherence, or an injected fault) raise
+//! a *recovery*: both sides stall for the recovery penalty plus a
+//! sync-request round trip, and the mute's offending line is queued
+//! for healing (invalidate + refetch).
+
+use std::collections::VecDeque;
+
+use mmm_mem::VersionToken;
+use mmm_types::config::ReunionConfig;
+use mmm_types::{Cycle, LineAddr};
+
+/// Which half of the pair a core is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// The master: fully coherent, architecturally visible.
+    Vocal,
+    /// The slave: incoherent private hierarchy, never exposes state.
+    Mute,
+}
+
+impl Side {
+    fn idx(self) -> usize {
+        match self {
+            Side::Vocal => 0,
+            Side::Mute => 1,
+        }
+    }
+}
+
+/// Counters accumulated by one pair channel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PairStats {
+    /// Instructions compared (both sides published).
+    pub ops_compared: u64,
+    /// Fingerprint mismatches from stale mute data.
+    pub input_incoherence: u64,
+    /// Fingerprint mismatches from injected faults.
+    pub faults_detected: u64,
+    /// Total recovery stall cycles charged.
+    pub recovery_cycles: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct OpRecord {
+    exec_done: [Option<Cycle>; 2],
+    /// Running per-side maximum of exec_done through this seq.
+    prefix_done: [Cycle; 2],
+    obs: [Option<(LineAddr, VersionToken)>; 2],
+    compared: bool,
+}
+
+/// The exchange channel shared by the two [`crate::pair::DmrPair`]
+/// gates.
+#[derive(Debug)]
+pub struct PairChannel {
+    cfg: ReunionConfig,
+    base_seq: u64,
+    records: VecDeque<OpRecord>,
+    /// Highest contiguous published seq per side (`None` until first).
+    published: [Option<u64>; 2],
+    /// Running prefix max of exec completion per side.
+    prefix: [Cycle; 2],
+    /// All commits must wait at least until this cycle (recovery).
+    recovery_floor: Cycle,
+    /// Pending heal requests for the mute core's stale lines.
+    heals: Vec<LineAddr>,
+    /// Inject a fault into the next compared instruction.
+    pending_fault: bool,
+    stats: PairStats,
+}
+
+impl PairChannel {
+    /// Creates a channel. `base_seq` is the stream position at which
+    /// the pair was coupled.
+    pub fn new(cfg: ReunionConfig, base_seq: u64) -> Self {
+        Self {
+            cfg,
+            base_seq,
+            records: VecDeque::new(),
+            published: [None; 2],
+            prefix: [0; 2],
+            recovery_floor: 0,
+            heals: Vec::new(),
+            pending_fault: false,
+            stats: PairStats::default(),
+        }
+    }
+
+    /// Channel counters.
+    pub fn stats(&self) -> PairStats {
+        self.stats
+    }
+
+    /// Resets counters (after warm-up) without touching exchange
+    /// state.
+    pub fn reset_stats(&mut self) {
+        self.stats = PairStats::default();
+    }
+
+    /// Arms a transient fault: the next instruction compared will
+    /// mismatch and be recovered (used by the fault injector).
+    pub fn inject_fault(&mut self) {
+        self.pending_fault = true;
+    }
+
+    /// Takes the pending mute-heal requests.
+    pub fn take_heals(&mut self) -> Vec<LineAddr> {
+        std::mem::take(&mut self.heals)
+    }
+
+    fn rec_index(&self, seq: u64) -> usize {
+        (seq - self.base_seq) as usize
+    }
+
+    /// Publishes one dispatched instruction from `side`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if publishes arrive out of order (cores dispatch in
+    /// order, so this indicates a simulator bug) or refer to a seq
+    /// before the coupling point.
+    pub fn publish(
+        &mut self,
+        side: Side,
+        seq: u64,
+        exec_done: Cycle,
+        obs: Option<(LineAddr, VersionToken)>,
+    ) {
+        let i = side.idx();
+        assert!(seq >= self.base_seq, "publish before coupling point");
+        if let Some(last) = self.published[i] {
+            assert_eq!(seq, last + 1, "side must publish in dispatch order");
+        } else {
+            assert_eq!(seq, self.base_seq, "first publish must be the base");
+        }
+        self.published[i] = Some(seq);
+        let idx = self.rec_index(seq);
+        while self.records.len() <= idx {
+            self.records.push_back(OpRecord::default());
+        }
+        self.prefix[i] = self.prefix[i].max(exec_done);
+        let rec = &mut self.records[idx];
+        rec.exec_done[i] = Some(exec_done);
+        rec.prefix_done[i] = self.prefix[i];
+        rec.obs[i] = obs;
+        if rec.exec_done[0].is_some() && rec.exec_done[1].is_some() && !rec.compared {
+            self.compare(idx);
+        }
+    }
+
+    /// Compares a fully published instruction, raising recovery on
+    /// mismatch.
+    fn compare(&mut self, idx: usize) {
+        let rec = &mut self.records[idx];
+        rec.compared = true;
+        self.stats.ops_compared += 1;
+        let vocal_obs = rec.obs[Side::Vocal.idx()];
+        let mute_obs = rec.obs[Side::Mute.idx()];
+        let fault = std::mem::take(&mut self.pending_fault);
+        let incoherent = match (vocal_obs, mute_obs) {
+            (Some((vl, vv)), Some((ml, mv))) => {
+                debug_assert_eq!(vl, ml, "redundant streams access the same line");
+                vv != mv
+            }
+            (None, None) => false,
+            _ => unreachable!("redundant streams have identical op shapes"),
+        };
+        if !fault && !incoherent {
+            return;
+        }
+        // Detection happens when the later side's fingerprint arrives.
+        let detect =
+            rec.prefix_done[0].max(rec.prefix_done[1]) + self.cfg.fingerprint_latency as Cycle;
+        let stall = (self.cfg.recovery_penalty + self.cfg.sync_latency) as Cycle;
+        self.recovery_floor = self.recovery_floor.max(detect + stall);
+        self.stats.recovery_cycles += stall;
+        if incoherent {
+            self.stats.input_incoherence += 1;
+            if let Some((line, _)) = mute_obs {
+                self.heals.push(line);
+            }
+        }
+        if fault {
+            self.stats.faults_detected += 1;
+        }
+    }
+
+    /// Earliest commit cycle for `seq` as seen from `side`, or `None`
+    /// if the partner has not yet published through `seq`.
+    ///
+    /// A fingerprint summarizes `fingerprint_interval` instructions,
+    /// so an op is released only when its whole block has executed on
+    /// both sides — up to the natural flush point: if the cores have
+    /// stalled dispatch mid-block (serializing drain, trap), the
+    /// fingerprint covering what has been published so far is
+    /// exchanged instead, so progress never deadlocks.
+    pub fn commit_time(&self, seq: u64, _now: Cycle) -> Option<Cycle> {
+        let (Some(p0), Some(p1)) = (self.published[0], self.published[1]) else {
+            return None;
+        };
+        if p0 < seq || p1 < seq || seq < self.base_seq {
+            return None;
+        }
+        let interval = self.cfg.fingerprint_interval.max(1) as u64;
+        let block_end = (seq / interval + 1) * interval - 1;
+        let upto = p0.min(p1).min(block_end);
+        let rec = &self.records[self.rec_index(upto)];
+        let release = rec.prefix_done[0].max(rec.prefix_done[1])
+            + (self.cfg.fingerprint_latency + self.cfg.check_stages) as Cycle;
+        Some(release.max(self.recovery_floor))
+    }
+
+    /// Extra fetch stall after a serializing instruction commits: the
+    /// SI must be validated before younger instructions may enter the
+    /// pipeline (§5.1) — a fingerprint round trip.
+    pub fn si_resume_delay(&self) -> u32 {
+        2 * self.cfg.fingerprint_latency + self.cfg.check_stages
+    }
+
+    /// Drops comparison records older than `seq` minus a full window —
+    /// they can no longer be queried. Called opportunistically by the
+    /// gates.
+    pub fn prune_below(&mut self, seq: u64) {
+        let keep_from = seq.saturating_sub(1024).max(self.base_seq);
+        while self.base_seq < keep_from {
+            if self.records.pop_front().is_none() {
+                break;
+            }
+            self.base_seq += 1;
+        }
+    }
+
+    /// Handles a pipeline squash from one side: both sides of a pair
+    /// are always torn down together in this simulator, so the channel
+    /// simply forgets everything past `from_seq`.
+    pub fn on_squash(&mut self, from_seq: u64) {
+        let keep = (from_seq.saturating_sub(self.base_seq)) as usize;
+        self.records.truncate(keep);
+        for i in 0..2 {
+            if let Some(p) = self.published[i] {
+                if p >= from_seq {
+                    self.published[i] = if from_seq == self.base_seq {
+                        None
+                    } else {
+                        Some(from_seq - 1)
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel() -> PairChannel {
+        PairChannel::new(ReunionConfig::default(), 0)
+    }
+
+    #[test]
+    fn commit_waits_for_both_sides() {
+        let mut ch = channel();
+        ch.publish(Side::Vocal, 0, 100, None);
+        assert_eq!(ch.commit_time(0, 105), None, "mute not published yet");
+        ch.publish(Side::Mute, 0, 130, None);
+        // Release = max(100,130) + 10 (fp) + 1 (check stage).
+        assert_eq!(ch.commit_time(0, 140), Some(141));
+    }
+
+    #[test]
+    fn release_uses_prefix_progress_not_single_op() {
+        let mut ch = channel();
+        // Op 0 slow, op 1 fast: op 1 cannot release before op 0's
+        // execution is summarized (in-order Check).
+        ch.publish(Side::Vocal, 0, 500, None);
+        ch.publish(Side::Vocal, 1, 50, None);
+        ch.publish(Side::Mute, 0, 40, None);
+        ch.publish(Side::Mute, 1, 45, None);
+        assert_eq!(ch.commit_time(1, 600), Some(511));
+    }
+
+    #[test]
+    fn matching_loads_do_not_recover() {
+        let mut ch = channel();
+        ch.publish(Side::Vocal, 0, 10, Some((LineAddr(7), 0xAA)));
+        ch.publish(Side::Mute, 0, 12, Some((LineAddr(7), 0xAA)));
+        assert_eq!(ch.stats().input_incoherence, 0);
+        assert!(ch.take_heals().is_empty());
+        assert_eq!(ch.commit_time(0, 100), Some(12 + 11));
+    }
+
+    #[test]
+    fn stale_mute_load_triggers_recovery_and_heal() {
+        let mut ch = channel();
+        ch.publish(Side::Vocal, 0, 10, Some((LineAddr(7), 0xAA)));
+        ch.publish(Side::Mute, 0, 12, Some((LineAddr(7), 0xBB)));
+        assert_eq!(ch.stats().input_incoherence, 1);
+        assert_eq!(ch.take_heals(), vec![LineAddr(7)]);
+        // Release is pushed past detection + recovery + sync.
+        let cfg = ReunionConfig::default();
+        let detect = 12 + cfg.fingerprint_latency as Cycle;
+        let floor = detect + (cfg.recovery_penalty + cfg.sync_latency) as Cycle;
+        assert_eq!(ch.commit_time(0, 1000), Some(floor));
+        assert!(ch.stats().recovery_cycles > 0);
+    }
+
+    #[test]
+    fn recovery_floor_applies_to_younger_ops() {
+        let mut ch = channel();
+        ch.publish(Side::Vocal, 0, 10, Some((LineAddr(7), 1)));
+        ch.publish(Side::Mute, 0, 12, Some((LineAddr(7), 2)));
+        ch.publish(Side::Vocal, 1, 14, None);
+        ch.publish(Side::Mute, 1, 15, None);
+        let t0 = ch.commit_time(0, 1000).unwrap();
+        let t1 = ch.commit_time(1, 1000).unwrap();
+        assert!(t1 >= t0, "recovery stalls younger instructions too");
+    }
+
+    #[test]
+    fn injected_fault_is_detected_once() {
+        let mut ch = channel();
+        ch.inject_fault();
+        ch.publish(Side::Vocal, 0, 10, None);
+        ch.publish(Side::Mute, 0, 11, None);
+        ch.publish(Side::Vocal, 1, 12, None);
+        ch.publish(Side::Mute, 1, 13, None);
+        assert_eq!(ch.stats().faults_detected, 1);
+        assert_eq!(ch.stats().input_incoherence, 0);
+    }
+
+    #[test]
+    fn si_resume_is_a_round_trip() {
+        let ch = channel();
+        assert_eq!(ch.si_resume_delay(), 21); // 2*10 + 1
+    }
+
+    #[test]
+    fn pruning_keeps_queryable_window() {
+        let mut ch = channel();
+        for s in 0..3000u64 {
+            ch.publish(Side::Vocal, s, s, None);
+            ch.publish(Side::Mute, s, s + 1, None);
+        }
+        ch.prune_below(3000);
+        assert!(ch.commit_time(2999, 10_000).is_some());
+        assert!(ch.records.len() <= 1100);
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatch order")]
+    fn out_of_order_publish_is_a_bug() {
+        let mut ch = channel();
+        ch.publish(Side::Vocal, 0, 1, None);
+        ch.publish(Side::Vocal, 2, 2, None);
+    }
+
+    #[test]
+    fn squash_forgets_future() {
+        let mut ch = channel();
+        ch.publish(Side::Vocal, 0, 1, None);
+        ch.publish(Side::Vocal, 1, 2, None);
+        ch.on_squash(1);
+        // Republishing seq 1 is now legal.
+        ch.publish(Side::Vocal, 1, 5, None);
+        ch.publish(Side::Mute, 0, 3, None);
+        ch.publish(Side::Mute, 1, 4, None);
+        assert!(ch.commit_time(1, 100).is_some());
+    }
+
+    #[test]
+    fn base_seq_offsets_are_respected() {
+        let mut ch = PairChannel::new(ReunionConfig::default(), 500);
+        ch.publish(Side::Vocal, 500, 10, None);
+        ch.publish(Side::Mute, 500, 11, None);
+        assert!(ch.commit_time(500, 100).is_some());
+    }
+}

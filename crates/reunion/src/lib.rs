@@ -1,0 +1,35 @@
+//! Reunion: complexity-effective dual-modular redundancy.
+//!
+//! Implements the loose lock-stepping scheme the paper adopts for its
+//! reliable mode (§3.2, after Smolens et al., MICRO 2006):
+//!
+//! * A *logical processing pair* joins two cores that redundantly
+//!   execute one instruction stream and appear to software as one
+//!   logical core. The **vocal** core participates in coherence as
+//!   normal; the **mute** core loads through its own private hierarchy
+//!   but never exposes state ("mute incoherence" is enforced by the
+//!   `coherent = false` request path of `mmm-mem`).
+//! * An added in-order **Check** pipeline stage holds each instruction
+//!   until a fingerprint summarizing its outputs has been exchanged
+//!   with the partner over a dedicated 10-cycle network and found
+//!   equal. Fingerprints summarize several instructions at once.
+//! * When the mute's best-effort data was stale (*input incoherence*)
+//!   or a transient fault corrupted either core, the fingerprints
+//!   differ; the pair synchronizes, rolls back, and re-executes, and
+//!   the mute's stale line is refetched — modelled by a recovery
+//!   stall plus a heal of the offending line.
+//!
+//! The pair abstraction is deliberately independent of *which* two
+//! cores are joined: "a major advantage of choosing Reunion ... is
+//! that it allows any core to operate as a vocal or mute for any
+//! other core" (paper §3.5), which is what MMM-TP's scheduler relies
+//! on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod pair;
+
+pub use channel::{PairChannel, PairStats, Side};
+pub use pair::DmrPair;

@@ -1,0 +1,339 @@
+//! Coupling two cores into a logical DMR pair.
+//!
+//! [`DmrPair::couple`] wires a vocal and a mute core around a shared
+//! [`PairChannel`]: both receive a clone of the same [`ExecContext`]
+//! (the streams are deterministic, so the clones generate identical
+//! instruction sequences), the mute is switched to incoherent memory
+//! requests, and both get a commit gate backed by the channel.
+//!
+//! [`DmrPair::decouple`] tears the pair down and returns the vocal's
+//! context — the architecturally authoritative one.
+//!
+//! The pair is agnostic of *which* cores are joined; MMM-TP re-pairs
+//! cores dynamically (paper §3.5).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mmm_cpu::{CommitGate, Core, ExecContext};
+use mmm_mem::{MemorySystem, VersionToken};
+use mmm_types::config::ReunionConfig;
+use mmm_types::{CoreId, Cycle, LineAddr};
+
+use crate::channel::{PairChannel, PairStats, Side};
+
+/// One side's view of the shared channel, installed into a core as
+/// its [`CommitGate`].
+struct SideGate {
+    channel: Rc<RefCell<PairChannel>>,
+    side: Side,
+}
+
+impl CommitGate for SideGate {
+    fn on_dispatch(
+        &mut self,
+        seq: u64,
+        exec_done: Cycle,
+        load_obs: Option<(LineAddr, VersionToken)>,
+    ) {
+        self.channel
+            .borrow_mut()
+            .publish(self.side, seq, exec_done, load_obs);
+    }
+
+    fn commit_time(&mut self, seq: u64, now: Cycle) -> Option<Cycle> {
+        let mut ch = self.channel.borrow_mut();
+        ch.prune_below(seq);
+        ch.commit_time(seq, now)
+    }
+
+    fn si_resume_delay(&self) -> u32 {
+        self.channel.borrow().si_resume_delay()
+    }
+
+    fn on_squash(&mut self, from_seq: u64) {
+        self.channel.borrow_mut().on_squash(from_seq);
+    }
+}
+
+/// A live logical processing pair.
+pub struct DmrPair {
+    vocal: CoreId,
+    mute: CoreId,
+    channel: Rc<RefCell<PairChannel>>,
+}
+
+impl DmrPair {
+    /// Couples `vocal` and `mute` to redundantly execute `ctx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either core is busy.
+    pub fn couple(
+        vocal: &mut Core,
+        mute: &mut Core,
+        ctx: ExecContext,
+        cfg: &ReunionConfig,
+    ) -> DmrPair {
+        let channel = Rc::new(RefCell::new(PairChannel::new(*cfg, ctx.seq())));
+        let mute_ctx = ctx.clone();
+        vocal.set_context(ctx);
+        vocal.set_coherent(true);
+        vocal.set_gate(Some(Box::new(SideGate {
+            channel: Rc::clone(&channel),
+            side: Side::Vocal,
+        })));
+        mute.set_context(mute_ctx);
+        mute.set_coherent(false);
+        mute.set_gate(Some(Box::new(SideGate {
+            channel: Rc::clone(&channel),
+            side: Side::Mute,
+        })));
+        DmrPair {
+            vocal: vocal.id(),
+            mute: mute.id(),
+            channel,
+        }
+    }
+
+    /// The vocal core's id.
+    pub fn vocal(&self) -> CoreId {
+        self.vocal
+    }
+
+    /// The mute core's id.
+    pub fn mute(&self) -> CoreId {
+        self.mute
+    }
+
+    /// Tears the pair down, returning the vocal's (authoritative)
+    /// context. Both cores are squashed, un-gated, and the mute is
+    /// restored to coherent operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supplied cores are not this pair's cores.
+    pub fn decouple(self, vocal: &mut Core, mute: &mut Core, now: Cycle) -> ExecContext {
+        assert_eq!(vocal.id(), self.vocal, "wrong vocal core");
+        assert_eq!(mute.id(), self.mute, "wrong mute core");
+        let ctx = vocal.take_context(now).expect("vocal holds the context");
+        let _ = mute.take_context(now);
+        vocal.set_gate(None);
+        mute.set_gate(None);
+        mute.set_coherent(true);
+        ctx
+    }
+
+    /// Services pending recoveries: invalidates the mute's stale lines
+    /// so re-execution refetches coherent data. Call once per
+    /// simulation cycle (cheap when idle).
+    pub fn service(&self, mem: &mut MemorySystem) {
+        let heals = self.channel.borrow_mut().take_heals();
+        for line in heals {
+            mem.heal_line(self.mute, line);
+        }
+    }
+
+    /// Arms a transient-fault injection on this pair's next compared
+    /// instruction.
+    pub fn inject_fault(&self) {
+        self.channel.borrow_mut().inject_fault();
+    }
+
+    /// Channel counters.
+    pub fn stats(&self) -> PairStats {
+        self.channel.borrow().stats()
+    }
+
+    /// Resets channel counters (after warm-up).
+    pub fn reset_stats(&self) {
+        self.channel.borrow_mut().reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_types::{SystemConfig, VcpuId, VmId};
+    use mmm_workload::{Benchmark, OpStream};
+
+    fn setup(_seed: u64) -> (Core, Core, Core, MemorySystem, SystemConfig) {
+        let cfg = SystemConfig::default();
+        let mem = MemorySystem::new(&cfg);
+        (
+            Core::new(CoreId(0), &cfg),
+            Core::new(CoreId(1), &cfg),
+            Core::new(CoreId(2), &cfg),
+            mem,
+            cfg,
+        )
+    }
+
+    fn ctx(b: Benchmark, vcpu: u16, seed: u64) -> ExecContext {
+        ExecContext::new(OpStream::new(b.profile(), VmId(0), VcpuId(vcpu), seed))
+    }
+
+    fn run_pair(
+        vocal: &mut Core,
+        mute: &mut Core,
+        pair: &DmrPair,
+        mem: &mut MemorySystem,
+        from: Cycle,
+        to: Cycle,
+    ) {
+        for now in from..to {
+            vocal.tick(now, mem);
+            mute.tick(now, mem);
+            pair.service(mem);
+        }
+    }
+
+    #[test]
+    fn pair_executes_redundantly_and_commits() {
+        let (mut vocal, mut mute, _solo, mut mem, cfg) = setup(1);
+        let pair = DmrPair::couple(
+            &mut vocal,
+            &mut mute,
+            ctx(Benchmark::Pmake, 0, 1),
+            &cfg.reunion,
+        );
+        run_pair(&mut vocal, &mut mute, &pair, &mut mem, 0, 100_000);
+        let v = vocal.stats().commits();
+        let m = mute.stats().commits();
+        assert!(v > 5_000, "vocal commits: {v}");
+        // Loose lockstep: both commit the same stream, within a window
+        // of slack.
+        assert!((v as i64 - m as i64).unsigned_abs() <= 256, "v={v} m={m}");
+        assert!(pair.stats().ops_compared > 5_000);
+    }
+
+    #[test]
+    fn dmr_is_slower_than_solo_execution() {
+        let (mut vocal, mut mute, mut solo, mut mem, cfg) = setup(2);
+        // Same benchmark, different VCPUs so footprints do not collide.
+        let pair = DmrPair::couple(
+            &mut vocal,
+            &mut mute,
+            ctx(Benchmark::Oltp, 0, 2),
+            &cfg.reunion,
+        );
+        solo.set_context(ctx(Benchmark::Oltp, 1, 2));
+        for now in 0..150_000 {
+            vocal.tick(now, &mut mem);
+            mute.tick(now, &mut mem);
+            solo.tick(now, &mut mem);
+            pair.service(&mut mem);
+        }
+        let dmr_ipc = vocal.stats().commits() as f64 / 150_000.0;
+        let solo_ipc = solo.stats().commits() as f64 / 150_000.0;
+        assert!(
+            dmr_ipc < solo_ipc,
+            "DMR must cost IPC: {dmr_ipc:.3} !< {solo_ipc:.3}"
+        );
+        assert!(vocal.stats().check_wait_cycles > 0);
+    }
+
+    #[test]
+    fn injected_fault_is_detected_and_recovered() {
+        let (mut vocal, mut mute, _solo, mut mem, cfg) = setup(3);
+        let pair = DmrPair::couple(
+            &mut vocal,
+            &mut mute,
+            ctx(Benchmark::Pmake, 0, 3),
+            &cfg.reunion,
+        );
+        run_pair(&mut vocal, &mut mute, &pair, &mut mem, 0, 20_000);
+        pair.inject_fault();
+        run_pair(&mut vocal, &mut mute, &pair, &mut mem, 20_000, 60_000);
+        assert_eq!(pair.stats().faults_detected, 1);
+        assert!(pair.stats().recovery_cycles > 0);
+        // Execution continues past the recovery.
+        let commits = vocal.stats().commits();
+        run_pair(&mut vocal, &mut mute, &pair, &mut mem, 60_000, 80_000);
+        assert!(vocal.stats().commits() > commits);
+    }
+
+    #[test]
+    fn input_incoherence_arises_from_foreign_writes() {
+        // Two pairs of the same VM share OS/shared regions: one pair's
+        // vocal writes lines the other pair's mute has cached stale.
+        let cfg = SystemConfig::default();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut v0 = Core::new(CoreId(0), &cfg);
+        let mut m0 = Core::new(CoreId(1), &cfg);
+        let mut v1 = Core::new(CoreId(2), &cfg);
+        let mut m1 = Core::new(CoreId(3), &cfg);
+        // Zeus: OS-heavy, strongly shared.
+        let p0 = DmrPair::couple(&mut v0, &mut m0, ctx(Benchmark::Zeus, 0, 4), &cfg.reunion);
+        let p1 = DmrPair::couple(&mut v1, &mut m1, ctx(Benchmark::Zeus, 1, 4), &cfg.reunion);
+        for now in 0..400_000 {
+            v0.tick(now, &mut mem);
+            m0.tick(now, &mut mem);
+            v1.tick(now, &mut mem);
+            m1.tick(now, &mut mem);
+            p0.service(&mut mem);
+            p1.service(&mut mem);
+        }
+        let total_incoherence = p0.stats().input_incoherence + p1.stats().input_incoherence;
+        assert!(
+            total_incoherence > 0,
+            "sharing workloads must exhibit input incoherence"
+        );
+        // And recovery must have healed: both pairs still commit.
+        assert!(v0.stats().commits() > 1_000);
+        assert!(v1.stats().commits() > 1_000);
+    }
+
+    #[test]
+    fn decouple_returns_vocal_context_and_frees_cores() {
+        let (mut vocal, mut mute, _solo, mut mem, cfg) = setup(5);
+        let pair = DmrPair::couple(
+            &mut vocal,
+            &mut mute,
+            ctx(Benchmark::Pmake, 0, 5),
+            &cfg.reunion,
+        );
+        run_pair(&mut vocal, &mut mute, &pair, &mut mem, 0, 50_000);
+        let commits = vocal.stats().commits();
+        let ctx = pair.decouple(&mut vocal, &mut mute, 50_000);
+        assert_eq!(ctx.commits(), commits);
+        assert!(!vocal.is_busy() && !mute.is_busy());
+        assert!(mute.coherent(), "mute rejoins the coherent world");
+        assert!(!vocal.has_gate() && !mute.has_gate());
+        // The context can go run solo (performance mode).
+        let mut perf = Core::new(CoreId(7), &cfg);
+        perf.set_context(ctx);
+        for now in 50_000..80_000 {
+            perf.tick(now, &mut mem);
+        }
+        assert!(perf.stats().commits() > 0, "execution resumes solo");
+    }
+
+    #[test]
+    fn mute_never_pollutes_directory() {
+        let (mut vocal, mut mute, _solo, mut mem, cfg) = setup(6);
+        let pair = DmrPair::couple(
+            &mut vocal,
+            &mut mute,
+            ctx(Benchmark::Oltp, 0, 6),
+            &cfg.reunion,
+        );
+        run_pair(&mut vocal, &mut mute, &pair, &mut mem, 0, 100_000);
+        // Every line the directory tracks for the mute core would be a
+        // protocol violation (mode-switch scratch traffic is the only
+        // legal coherent mute traffic, and there is none here).
+        let mute_id = pair.mute();
+        let mut violations = 0;
+        for l in 0..(1u64 << 14) {
+            // Spot-check a swath of the address space.
+            if mem
+                .directory()
+                .entry(mmm_types::LineAddr(l))
+                .has_sharer(mute_id)
+            {
+                violations += 1;
+            }
+        }
+        assert_eq!(violations, 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the fingerprint exchange channel.
+
+use proptest::prelude::*;
+
+use mmm_reunion::channel::{PairChannel, Side};
+use mmm_types::config::ReunionConfig;
+use mmm_types::LineAddr;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever the interleaving of vocal/mute publishes, an op's
+    /// release time (once known) is at least both sides' execution
+    /// completion plus the fingerprint latency, and never precedes an
+    /// older op's release.
+    #[test]
+    fn release_times_are_causal_and_monotone(
+        exec_latencies in prop::collection::vec((1u64..200, 1u64..200), 1..120),
+        vocal_lead in 0u64..50
+    ) {
+        let cfg = ReunionConfig::default();
+        let mut ch = PairChannel::new(cfg, 0);
+        let mut t_vocal = 100u64;
+        let mut t_mute = 100 + vocal_lead;
+        for (seq, &(dv, dm)) in exec_latencies.iter().enumerate() {
+            t_vocal += dv;
+            t_mute += dm;
+            ch.publish(Side::Vocal, seq as u64, t_vocal, None);
+            ch.publish(Side::Mute, seq as u64, t_mute, None);
+        }
+        let mut prev_release = 0u64;
+        let mut max_exec = 0u64;
+        let mut tv = 100u64;
+        let mut tm = 100 + vocal_lead;
+        for (seq, &(dv, dm)) in exec_latencies.iter().enumerate() {
+            tv += dv;
+            tm += dm;
+            max_exec = max_exec.max(tv).max(tm);
+            let release = ch
+                .commit_time(seq as u64, u64::MAX)
+                .expect("fully published");
+            prop_assert!(
+                release >= max_exec + cfg.fingerprint_latency as u64,
+                "release {release} precedes exchange of seq {seq}"
+            );
+            prop_assert!(release >= prev_release, "in-order Check stage");
+            prev_release = release;
+        }
+    }
+
+    /// Every mismatching load raises exactly one heal for the line the
+    /// mute observed, and matching loads raise none.
+    #[test]
+    fn heals_match_the_mismatches(
+        loads in prop::collection::vec((0u64..32, any::<bool>()), 1..100)
+    ) {
+        let cfg = ReunionConfig::default();
+        let mut ch = PairChannel::new(cfg, 0);
+        let mut expected: Vec<LineAddr> = Vec::new();
+        for (seq, &(line, stale)) in loads.iter().enumerate() {
+            let l = LineAddr(0x100 + line);
+            let vocal_v = 0xAAAA + seq as u64;
+            let mute_v = if stale { vocal_v ^ 1 } else { vocal_v };
+            ch.publish(Side::Vocal, seq as u64, seq as u64, Some((l, vocal_v)));
+            ch.publish(Side::Mute, seq as u64, seq as u64 + 3, Some((l, mute_v)));
+            if stale {
+                expected.push(l);
+            }
+        }
+        let heals = ch.take_heals();
+        prop_assert_eq!(heals, expected);
+        prop_assert_eq!(
+            ch.stats().input_incoherence,
+            loads.iter().filter(|&&(_, s)| s).count() as u64
+        );
+    }
+
+    /// Recovery only ever pushes release times later, never earlier.
+    #[test]
+    fn recovery_floor_never_rewinds(
+        n_ops in 2u64..64,
+        mismatch_at in 0u64..32
+    ) {
+        let mismatch_at = mismatch_at.min(n_ops - 1);
+        let cfg = ReunionConfig::default();
+        let mut clean = PairChannel::new(cfg, 0);
+        let mut faulty = PairChannel::new(cfg, 0);
+        for seq in 0..n_ops {
+            let l = LineAddr(7);
+            let (cv, fv) = (100 + seq, if seq == mismatch_at { 1 } else { 100 + seq });
+            clean.publish(Side::Vocal, seq, seq * 2, Some((l, cv)));
+            clean.publish(Side::Mute, seq, seq * 2 + 1, Some((l, cv)));
+            faulty.publish(Side::Vocal, seq, seq * 2, Some((l, 100 + seq)));
+            faulty.publish(Side::Mute, seq, seq * 2 + 1, Some((l, fv)));
+        }
+        for seq in 0..n_ops {
+            let c = clean.commit_time(seq, u64::MAX).unwrap();
+            let f = faulty.commit_time(seq, u64::MAX).unwrap();
+            prop_assert!(f >= c, "recovery made seq {seq} commit earlier");
+            if seq == mismatch_at {
+                // The mismatching op itself must absorb the full
+                // recovery; younger ops may outrun the floor once
+                // their natural release passes it.
+                prop_assert!(
+                    f >= c + cfg.recovery_penalty as u64,
+                    "the mismatching op must absorb the recovery"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! A fast hasher for line/page-keyed maps.
+//!
+//! The memory system keys millions of `HashMap` operations per
+//! simulated millisecond on 64-bit line addresses. SipHash's
+//! HashDoS resistance buys nothing against a deterministic simulator's
+//! own address stream, so these maps use a multiply-xor finalizer
+//! (the SplitMix64 mixer) instead — ~4× faster lookups in practice.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher for integer-like keys.
+#[derive(Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (rare): fold 8-byte chunks.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        let mut x = self.state ^ i;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        self.state = x;
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// `HashMap` with the fast hasher.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` with the fast hasher.
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_works() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i * 64, i);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&(i * 64)), Some(&i));
+        }
+        assert_eq!(m.get(&1), None);
+    }
+
+    #[test]
+    fn hashes_spread_sequential_keys() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let b: BuildHasherDefault<FastHasher> = Default::default();
+        let mut low_bits = FastSet::default();
+        for i in 0..1000u64 {
+            let mut h = b.build_hasher();
+            h.write_u64(i);
+            low_bits.insert(h.finish() & 0xFFF);
+        }
+        // Sequential keys must not collide in the low bits.
+        assert!(low_bits.len() > 850, "spread: {}", low_bits.len());
+    }
+}

@@ -1,0 +1,250 @@
+//! Strongly typed identifiers and physical-address arithmetic.
+//!
+//! All hardware entities in the simulator are addressed through
+//! newtypes so that a core index can never be confused with a VCPU
+//! index, and a byte address can never be confused with a line or page
+//! number. Conversions between address granularities live here so the
+//! line size (64 B) and page size (8 KB, as assumed by the paper's
+//! Protection Assistance Table) are defined exactly once.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simulation timestamp, measured in core clock cycles at 3 GHz.
+pub type Cycle = u64;
+
+/// Bytes per cache line throughout the hierarchy (64 B).
+pub const LINE_BYTES: u64 = 64;
+
+/// Bytes per physical page (8 KB), the granularity of the Protection
+/// Assistance Table (one bit per 8 KB page; paper §3.4.1).
+pub const PAGE_BYTES: u64 = 8192;
+
+/// Log2 of [`LINE_BYTES`].
+pub const LINE_SHIFT: u32 = 6;
+
+/// Log2 of [`PAGE_BYTES`].
+pub const PAGE_SHIFT: u32 = 13;
+
+macro_rules! small_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u16);
+
+        impl $name {
+            /// Returns the identifier as a plain index, for use with
+            /// slices and vectors.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds the identifier from a plain index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in 16 bits.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                assert!(index <= u16::MAX as usize, "id out of range: {index}");
+                Self(index as u16)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", stringify!($name).chars().next().unwrap(), self.0)
+            }
+        }
+
+        impl From<u16> for $name {
+            fn from(v: u16) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+small_id!(
+    /// A physical core on the chip (`C0`..`C15` for the default
+    /// 16-core configuration).
+    CoreId
+);
+small_id!(
+    /// A virtual processor exposed to system software. The chip maps
+    /// VCPUs onto physical cores (one core in performance mode, a
+    /// vocal/mute pair in reliable mode); see paper §3.5.
+    VcpuId
+);
+small_id!(
+    /// A guest virtual machine in the consolidated-server experiments,
+    /// or the single OS image in single-OS experiments.
+    VmId
+);
+small_id!(
+    /// A static vocal/mute core pairing used by standard DMR and by
+    /// MMM-IPC. Pair `P(i)` joins cores `2i` (vocal) and `2i+1` (mute).
+    PairId
+);
+
+impl PairId {
+    /// The vocal (master) core of this static pair.
+    #[inline]
+    pub fn vocal(self) -> CoreId {
+        CoreId(self.0 * 2)
+    }
+
+    /// The mute (slave) core of this static pair.
+    #[inline]
+    pub fn mute(self) -> CoreId {
+        CoreId(self.0 * 2 + 1)
+    }
+
+    /// The static pair that owns the given core.
+    #[inline]
+    pub fn of_core(core: CoreId) -> Self {
+        PairId(core.0 / 2)
+    }
+}
+
+/// A full physical byte address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct PhysAddr(pub u64);
+
+/// A physical cache-line number (byte address divided by 64).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct LineAddr(pub u64);
+
+/// A physical page number (byte address divided by 8192).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct PageAddr(pub u64);
+
+impl PhysAddr {
+    /// The cache line containing this byte.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// The physical page containing this byte.
+    #[inline]
+    pub fn page(self) -> PageAddr {
+        PageAddr(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the containing cache line.
+    #[inline]
+    pub fn line_offset(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+}
+
+impl LineAddr {
+    /// The first byte of this line.
+    #[inline]
+    pub fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << LINE_SHIFT)
+    }
+
+    /// The physical page containing this line.
+    #[inline]
+    pub fn page(self) -> PageAddr {
+        PageAddr(self.0 >> (PAGE_SHIFT - LINE_SHIFT))
+    }
+}
+
+impl PageAddr {
+    /// The first byte of this page.
+    #[inline]
+    pub fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The first line of this page.
+    #[inline]
+    pub fn first_line(self) -> LineAddr {
+        LineAddr(self.0 << (PAGE_SHIFT - LINE_SHIFT))
+    }
+
+    /// Number of cache lines per page (128 for 8 KB pages and 64 B lines).
+    #[inline]
+    pub fn lines_per_page() -> u64 {
+        PAGE_BYTES / LINE_BYTES
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#012x}", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pg{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_page_arithmetic_round_trips() {
+        let a = PhysAddr(0x1234_5678);
+        assert_eq!(a.line().base().0, a.0 & !(LINE_BYTES - 1));
+        assert_eq!(a.page().base().0, a.0 & !(PAGE_BYTES - 1));
+        assert_eq!(a.line().page(), a.page());
+    }
+
+    #[test]
+    fn line_offset_is_within_line() {
+        for a in [0u64, 1, 63, 64, 65, 8191, 8192, u64::MAX / 2] {
+            assert!(PhysAddr(a).line_offset() < LINE_BYTES);
+        }
+    }
+
+    #[test]
+    fn lines_per_page_matches_shifts() {
+        assert_eq!(PageAddr::lines_per_page(), 128);
+        let p = PageAddr(3);
+        assert_eq!(p.first_line().0, 3 * 128);
+        assert_eq!(p.first_line().page(), p);
+    }
+
+    #[test]
+    fn pair_core_mapping_is_disjoint_and_covers() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..8u16 {
+            let p = PairId(i);
+            assert_eq!(PairId::of_core(p.vocal()), p);
+            assert_eq!(PairId::of_core(p.mute()), p);
+            assert!(seen.insert(p.vocal()));
+            assert!(seen.insert(p.mute()));
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(CoreId(3).to_string(), "C3");
+        assert_eq!(VcpuId(11).to_string(), "V11");
+        assert_eq!(VmId(0).to_string(), "V0");
+        assert_eq!(PairId(7).to_string(), "P7");
+    }
+
+    #[test]
+    #[should_panic(expected = "id out of range")]
+    fn from_index_rejects_oversized() {
+        let _ = CoreId::from_index(1 << 17);
+    }
+}

@@ -1,0 +1,29 @@
+//! Common vocabulary for the mixed-mode multicore simulator.
+//!
+//! This crate defines the identifiers, physical-address arithmetic,
+//! configuration structures, statistics helpers, and deterministic
+//! random-number generation shared by every other crate in the
+//! workspace. It deliberately contains no simulation logic.
+//!
+//! The default values of every configuration structure reproduce the
+//! target multicore of *Mixed-Mode Multicore Reliability* (Wells,
+//! Chakraborty, Sohi; ASPLOS 2009), §3.1 and §4.1: a 16-core chip with
+//! out-of-order, 2-wide, 128-entry-window cores at 3 GHz, split 16 KB
+//! write-through L1s, 512 KB private L2s, an 8 MB shared exclusive L3,
+//! a MOSI directory, 350-cycle DRAM at 40 GB/s, and the Reunion DMR
+//! fabric with a dedicated 10-cycle fingerprint network.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod fastmap;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+
+pub use config::SystemConfig;
+pub use error::{Error, Result};
+pub use ids::{CoreId, Cycle, LineAddr, PageAddr, PairId, PhysAddr, VcpuId, VmId};
+pub use rng::DetRng;

@@ -1,0 +1,255 @@
+//! Deterministic random-number generation.
+//!
+//! Experiments must be bit-reproducible across runs and platforms, so
+//! every stochastic component draws from a [`DetRng`] seeded from the
+//! experiment seed plus a stable per-component stream id. `rand`'s
+//! `StdRng` is explicitly not portable across versions; `ChaCha8` is.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic, portable random-number generator.
+///
+/// Wraps `ChaCha8Rng` with the handful of draw shapes the simulator
+/// needs (Bernoulli trials, bounded integers, geometric interarrivals,
+/// and a truncated power-law for cache footprints).
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    inner: ChaCha8Rng,
+}
+
+impl DetRng {
+    /// Creates a generator from an experiment seed and a component
+    /// stream id. Different `(seed, stream)` pairs yield independent
+    /// sequences; identical pairs yield identical sequences.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        rng.set_stream(stream);
+        Self { inner: rng }
+    }
+
+    /// A Bernoulli trial: `true` with probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Geometric interarrival: number of trials until an event with
+    /// per-trial probability `p` fires, at least 1. Used for syscall,
+    /// fault, and serializing-instruction interarrival times. Returns
+    /// `u64::MAX` when `p` is non-positive.
+    #[inline]
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        if p <= 0.0 {
+            return u64::MAX;
+        }
+        if p >= 1.0 {
+            return 1;
+        }
+        let u = self.inner.gen::<f64>().max(f64::MIN_POSITIVE);
+        let n = (u.ln() / (1.0 - p).ln()).ceil();
+        (n as u64).max(1)
+    }
+
+    /// A truncated power-law draw over `[0, n)`: index 0 is hottest.
+    ///
+    /// `skew` ∈ (0, ∞): larger values concentrate mass on low indices.
+    /// With `skew = 1` this approximates a Zipf distribution, matching
+    /// the heavy reuse of hot lines observed in commercial workloads.
+    #[inline]
+    pub fn power_law(&mut self, n: u64, skew: f64) -> u64 {
+        let (a, inv) = PowerLaw::constants(n, skew);
+        self.power_law_prepared(n, a, inv)
+    }
+
+    /// Power-law draw using precomputed constants from
+    /// [`PowerLaw::constants`] — the hot path for workload streams,
+    /// saving one `powf` per draw.
+    #[inline]
+    pub fn power_law_prepared(&mut self, n: u64, a: f64, inv: f64) -> u64 {
+        debug_assert!(n > 0, "power_law over empty domain");
+        let u = self.inner.gen::<f64>();
+        // Inverse-CDF of p(x) ~ (x+1)^(-skew) over a continuous domain,
+        // cheap and adequate for footprint modelling.
+        let x = (a * u + (1.0 - u)).powf(inv) - 1.0;
+        (x as u64).min(n - 1)
+    }
+
+    /// Derives a child generator for a sub-component. The child stream
+    /// is a stable function of this generator's stream and `tag`, not
+    /// of how many draws have been made.
+    pub fn child(&self, tag: u64) -> DetRng {
+        let seed = self.inner.get_seed();
+        let base = u64::from_le_bytes(seed[..8].try_into().expect("seed is 32 bytes"));
+        DetRng::new(
+            base ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            self.inner.get_stream().wrapping_add(tag).wrapping_add(1),
+        )
+    }
+
+    /// Raw 64-bit draw (for hashing/fingerprint seeds).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Precomputed constants for [`DetRng::power_law_prepared`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerLaw {
+    /// Domain size.
+    pub n: u64,
+    /// `(n + 1)^(1 - skew)`.
+    pub a: f64,
+    /// `1 / (1 - skew)`.
+    pub inv: f64,
+}
+
+impl PowerLaw {
+    /// Builds constants for a domain of `n` lines with the given skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `skew == 1`.
+    pub fn new(n: u64, skew: f64) -> Self {
+        let (a, inv) = Self::constants(n, skew);
+        Self { n, a, inv }
+    }
+
+    /// The raw `(a, inv)` pair.
+    pub fn constants(n: u64, skew: f64) -> (f64, f64) {
+        assert!(n > 0, "power_law over empty domain");
+        assert!((skew - 1.0).abs() > 1e-9, "skew must differ from 1");
+        ((n as f64 + 1.0).powf(1.0 - skew), 1.0 / (1.0 - skew))
+    }
+
+    /// Draws an index in `[0, n)` from `rng`.
+    #[inline]
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        rng.power_law_prepared(self.n, self.a, self.inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DetRng::new(42, 7);
+        let mut b = DetRng::new(42, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = DetRng::new(42, 0);
+        let mut b = DetRng::new(42, 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be effectively independent");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(1, 0);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn chance_roughly_calibrated() {
+        let mut r = DetRng::new(9, 0);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn geometric_mean_close_to_inverse_p() {
+        let mut r = DetRng::new(3, 0);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| r.geometric(0.01)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!(
+            (80.0..120.0).contains(&mean),
+            "geometric mean {mean} should be near 100"
+        );
+    }
+
+    #[test]
+    fn geometric_edge_cases() {
+        let mut r = DetRng::new(3, 0);
+        assert_eq!(r.geometric(0.0), u64::MAX);
+        assert_eq!(r.geometric(1.0), 1);
+        assert!(r.geometric(0.5) >= 1);
+    }
+
+    #[test]
+    fn power_law_in_range_and_skewed() {
+        let mut r = DetRng::new(5, 0);
+        let n = 1000u64;
+        let mut low = 0usize;
+        for _ in 0..10_000 {
+            let x = r.power_law(n, 1.2);
+            assert!(x < n);
+            if x < n / 10 {
+                low += 1;
+            }
+        }
+        // With skew 1.2, far more than 10% of mass sits in the lowest decile.
+        assert!(low > 4_000, "low-decile hits: {low}");
+    }
+
+    #[test]
+    fn below_and_range_bounds() {
+        let mut r = DetRng::new(8, 0);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            let x = r.range(10, 20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn child_streams_are_stable_and_distinct() {
+        let parent = DetRng::new(11, 2);
+        let mut c1 = parent.child(1);
+        let mut c1b = parent.child(1);
+        let mut c2 = parent.child(2);
+        assert_eq!(c1.next_u64(), c1b.next_u64());
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

@@ -1,0 +1,347 @@
+//! Statistics helpers: running moments, 95% confidence intervals, and
+//! fixed-bucket histograms.
+//!
+//! The paper reports averages over multiple simulation runs with 95%
+//! confidence intervals (§4.1); [`mean_ci95`] reproduces that
+//! methodology with a small-sample Student-t table.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct RunningStat {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStat {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Half-width of the 95% confidence interval on the mean.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        t_crit_95(self.n - 1) * self.stddev() / (self.n as f64).sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStat) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64;
+        *self = RunningStat { n, mean, m2 };
+    }
+}
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+fn t_crit_95(df: u64) -> f64 {
+    // Table for small df; converges to the normal 1.96 beyond 30.
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        TABLE[(df - 1) as usize]
+    } else {
+        1.96
+    }
+}
+
+/// Mean and 95%-CI half width of a sample set.
+///
+/// Returns `(0.0, 0.0)` for an empty slice and `(x, 0.0)` for a single
+/// observation.
+pub fn mean_ci95(samples: &[f64]) -> (f64, f64) {
+    let mut s = RunningStat::new();
+    for &x in samples {
+        s.push(x);
+    }
+    if s.count() < 2 {
+        (s.mean(), 0.0)
+    } else {
+        (s.mean(), s.ci95_half_width())
+    }
+}
+
+/// A histogram over power-of-two buckets, for latency and interval
+/// distributions (e.g. cycles between mode switches).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Log2Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram covering the full `u64` range
+    /// (65 buckets: `[0]`, `[1,2)`, `[2,4)`, ...).
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let b = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate p-th percentile (`p` in `[0,100]`) using bucket upper
+    /// bounds; adequate for order-of-magnitude latency reporting.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 0 } else { (1u128 << i) as u64 - 1 }.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The raw bucket counts: bucket 0 holds value 0, bucket `i > 0`
+    /// holds values in `[2^(i-1), 2^i)`.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Renders the nonzero buckets as an ASCII bar chart.
+    pub fn render(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{title} (n={}, mean={:.0}):", self.count, self.mean());
+        if self.count == 0 {
+            let _ = writeln!(out, "  (empty)");
+            return out;
+        }
+        let peak = *self.buckets.iter().max().expect("65 buckets") as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let label = if i == 0 {
+                "0".to_string()
+            } else {
+                format!("{}..{}", 1u128 << (i - 1), (1u128 << i) - 1)
+            };
+            let bar = "#".repeat(((c as f64 / peak) * 40.0).ceil() as usize);
+            let _ = writeln!(out, "  {label:>24}  {bar} {c}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stat_mean_and_variance() {
+        let mut s = RunningStat::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_stat_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningStat::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let mut a = RunningStat::new();
+        let mut b = RunningStat::new();
+        xs[..37].iter().for_each(|&x| a.push(x));
+        xs[37..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStat::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&RunningStat::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+        let mut e = RunningStat::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    fn ci95_behaviour() {
+        let (m, hw) = mean_ci95(&[]);
+        assert_eq!((m, hw), (0.0, 0.0));
+        let (m, hw) = mean_ci95(&[5.0]);
+        assert_eq!((m, hw), (5.0, 0.0));
+        let (m, hw) = mean_ci95(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(m, 1.0);
+        assert_eq!(hw, 0.0);
+        let (m, hw) = mean_ci95(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((m - 3.0).abs() < 1e-12);
+        // t(4)=2.776, sd=sqrt(2.5), n=5 -> hw ~ 1.963
+        assert!((hw - 2.776 * (2.5f64).sqrt() / 5.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_table_converges_to_normal() {
+        assert_eq!(t_crit_95(1000), 1.96);
+        assert!(t_crit_95(1) > 12.0);
+        assert!(t_crit_95(0).is_infinite());
+    }
+
+    #[test]
+    fn histogram_basic() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 2, 3, 1000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1_000_000);
+        assert!((h.mean() - (1_001_006.0 / 6.0)).abs() < 1e-9);
+        assert!(h.percentile(100.0) <= 1_000_000);
+        assert_eq!(h.percentile(10.0), 0);
+    }
+
+    #[test]
+    fn histogram_render() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 3, 3, 900] {
+            h.record(v);
+        }
+        let s = h.render("latencies");
+        assert!(s.contains("latencies (n=4"));
+        assert!(s.contains("  0  ") || s.contains(" 0 "), "zero bucket: {s}");
+        assert!(s.contains("2..3"));
+        assert!(s.contains("512..1023"));
+        let empty = Log2Histogram::new().render("none");
+        assert!(empty.contains("(empty)"));
+    }
+
+    #[test]
+    fn bucket_counts_exposed() {
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        let b = h.bucket_counts();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[1], 1);
+        assert_eq!(b[2], 1);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 500);
+    }
+}

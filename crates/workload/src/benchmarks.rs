@@ -1,0 +1,420 @@
+//! The six paper workloads (plus a SPEC-like compute profile).
+//!
+//! Parameters are calibrated against the per-workload observables the
+//! paper publishes: the user/OS alternation intervals of Table 2, the
+//! serializing-instruction stall range of §5.1 (15–46% of cycles under
+//! Reunion), the C2C behaviour of §5.1 (pmake has very few C2C
+//! transfers in the baseline; commercial workloads are sharing-heavy),
+//! and the qualitative footprint descriptions of §4.1 (≈800 MB
+//! databases, static web serving, parallel compilation).
+//!
+//! `EXPERIMENTS.md` records the calibration: measured baseline
+//! user/OS cycles vs. Table 2 for every profile.
+//!
+//! # Recalibration procedure
+//!
+//! Phase lengths are specified in *instructions* but Table 2's targets
+//! are *cycles*, so they depend on baseline IPC. After any change that
+//! moves simulator timing:
+//!
+//! 1. `cargo run --release -p mmm-bench --example calib` (equilibrium
+//!    run lengths are baked into the example);
+//! 2. set each profile's `mean_user_insts = table2_user_cycles x
+//!    measured ipc_user` (same for OS);
+//! 3. iterate once — the measured IPCs shift slightly with the new
+//!    phase mix — then regenerate the golden pins
+//!    (`--example golden_gen`) and re-run `scripts/reproduce.sh`.
+
+use crate::profile::{PhaseProfile, WorkloadProfile};
+
+/// One of the paper's evaluation workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Apache static web server driven by Surge (OS-intensive).
+    Apache,
+    /// TPC-C-like OLTP on IBM DB2, ~800 MB database, 192 user threads.
+    Oltp,
+    /// TPC-C-like queries on PostgreSQL 8.1.3 (OSDL dbt2).
+    Pgoltp,
+    /// Parallel compile of PostgreSQL (GNU make + Forte C), user-heavy.
+    Pmake,
+    /// TPC-B-like queries on PostgreSQL.
+    Pgbench,
+    /// Zeus static web server driven by Surge (most OS-intensive).
+    Zeus,
+    /// A SPEC CPU2000-like compute-bound profile: rare OS entries,
+    /// small kernel time. Not part of the paper's six, but used by its
+    /// §5.3 argument ("for applications similar to SPEC CPU2000 ...
+    /// this overhead would be even less"), and by our mode-switch
+    /// frequency sweep.
+    SpecLike,
+    /// The SPEC-like profile with an explicit OS-entry interval:
+    /// user phases average `user_kilo_insts` thousand instructions.
+    /// Powers the §5.3 switch-frequency sweep, which varies how often
+    /// a single-OS mixed-mode system must transition.
+    Synthetic {
+        /// Mean user-phase length in thousands of instructions.
+        user_kilo_insts: u16,
+    },
+}
+
+impl Benchmark {
+    /// The six benchmarks of the paper's evaluation, in figure order.
+    pub fn all() -> [Benchmark; 6] {
+        [
+            Benchmark::Apache,
+            Benchmark::Oltp,
+            Benchmark::Pgoltp,
+            Benchmark::Pmake,
+            Benchmark::Pgbench,
+            Benchmark::Zeus,
+        ]
+    }
+
+    /// Name as printed in the paper's figures.
+    pub fn name(self) -> &'static str {
+        self.profile().name
+    }
+
+    /// The statistical profile of this benchmark.
+    pub fn profile(self) -> WorkloadProfile {
+        match self {
+            Benchmark::Apache => apache(),
+            Benchmark::Oltp => oltp(),
+            Benchmark::Pgoltp => pgoltp(),
+            Benchmark::Pmake => pmake(),
+            Benchmark::Pgbench => pgbench(),
+            Benchmark::Zeus => zeus(),
+            Benchmark::SpecLike => spec_like(),
+            Benchmark::Synthetic { user_kilo_insts } => {
+                let mut p = spec_like();
+                p.name = "synthetic";
+                p.mean_user_insts = (user_kilo_insts as u64).max(1) * 1000;
+                p
+            }
+        }
+    }
+}
+
+/// Common user-phase skeleton for the commercial workloads.
+fn commercial_user() -> PhaseProfile {
+    PhaseProfile {
+        load_frac: 0.25,
+        store_frac: 0.10,
+        branch_frac: 0.13,
+        long_alu_frac: 0.03,
+        si_rate: 1.0 / 20_000.0,
+        mispredict_rate: 0.030,
+        jump_rate: 0.25,
+        code_lines: 4_096,     // 256 KB of hot user text
+        private_lines: 12_000, // ~0.75 MB per thread
+        os_lines: 48_000,
+        shared_lines: 16_000,
+        p_os_data: 0.02,
+        p_shared: 0.10,
+        skew: 1.35,
+        p_hot: 0.70,
+        hot_lines: 128,
+        p_warm: 0.05,
+        warm_lines: 8_000,
+        code_skew: 1.90,
+        store_share_scale: 0.20,
+        p_true_share: 0.30,
+    }
+}
+
+/// Common OS-phase skeleton: more memory traffic, frequent serializing
+/// instructions, accesses concentrated on shared kernel structures.
+fn commercial_os() -> PhaseProfile {
+    PhaseProfile {
+        load_frac: 0.27,
+        store_frac: 0.14,
+        branch_frac: 0.15,
+        long_alu_frac: 0.01,
+        si_rate: 1.0 / 180.0,
+        mispredict_rate: 0.040,
+        jump_rate: 0.30,
+        code_lines: 6_144, // 384 KB of kernel text
+        private_lines: 8_000,
+        os_lines: 48_000, // 3 MB of kernel data
+        shared_lines: 16_000,
+        p_os_data: 0.55,
+        p_shared: 0.08,
+        skew: 1.30,
+        p_hot: 0.60,
+        hot_lines: 128,
+        p_warm: 0.03,
+        warm_lines: 3_000,
+        code_skew: 1.80,
+        store_share_scale: 0.20,
+        p_true_share: 0.30,
+    }
+}
+
+fn apache() -> WorkloadProfile {
+    let mut user = commercial_user();
+    user.p_shared = 0.06;
+    user.shared_lines = 8_000;
+    let mut os = commercial_os();
+    os.si_rate = 1.0 / 140.0; // network stack: heavy trap/membar traffic
+    WorkloadProfile {
+        name: "Apache",
+        user,
+        os,
+        // Table 2: 59k user / 98k OS cycles between switches.
+        mean_user_insts: 33_600,
+        mean_os_insts: 36_600,
+    }
+}
+
+fn zeus() -> WorkloadProfile {
+    let mut user = commercial_user();
+    user.p_shared = 0.06;
+    user.shared_lines = 8_000;
+    let mut os = commercial_os();
+    os.si_rate = 1.0 / 130.0;
+    WorkloadProfile {
+        name: "Zeus",
+        user,
+        os,
+        // Table 2: 65k user / 220k OS cycles.
+        mean_user_insts: 33_100,
+        mean_os_insts: 88_200,
+    }
+}
+
+fn oltp() -> WorkloadProfile {
+    let mut user = commercial_user();
+    user.p_shared = 0.20; // DB2 buffer pool
+    user.shared_lines = 80_000; // ~5 MB hot buffer pool
+    user.private_lines = 13_000;
+    let mut os = commercial_os();
+    os.si_rate = 1.0 / 140.0;
+    WorkloadProfile {
+        name: "OLTP",
+        user,
+        os,
+        // Table 2: 218k user / 52k OS cycles.
+        mean_user_insts: 156_500,
+        mean_os_insts: 16_600,
+    }
+}
+
+fn pgoltp() -> WorkloadProfile {
+    let mut user = commercial_user();
+    user.p_shared = 0.18;
+    user.shared_lines = 64_000;
+    user.private_lines = 13_000;
+    let mut os = commercial_os();
+    os.si_rate = 1.0 / 140.0;
+    WorkloadProfile {
+        name: "pgoltp",
+        user,
+        os,
+        // Table 2: 210k user / 35k OS cycles.
+        mean_user_insts: 153_700,
+        mean_os_insts: 10_500,
+    }
+}
+
+fn pgbench() -> WorkloadProfile {
+    let mut user = commercial_user();
+    user.p_shared = 0.15;
+    user.shared_lines = 48_000;
+    user.private_lines = 12_500;
+    let mut os = commercial_os();
+    os.si_rate = 1.0 / 140.0;
+    WorkloadProfile {
+        name: "pgbench",
+        user,
+        os,
+        // Table 2: 554k user / 126k OS cycles.
+        mean_user_insts: 431_600,
+        mean_os_insts: 44_700,
+    }
+}
+
+fn pmake() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "pmake",
+        user: PhaseProfile {
+            load_frac: 0.24,
+            store_frac: 0.09,
+            branch_frac: 0.14,
+            long_alu_frac: 0.04,
+            si_rate: 1.0 / 50_000.0,
+            mispredict_rate: 0.020,
+            jump_rate: 0.20,
+            code_lines: 3_072,
+            private_lines: 7_000, // compiler working set fits caches better
+            os_lines: 24_000,
+            shared_lines: 512, // "pmake has very few C2C transfers" (§5.1)
+            p_os_data: 0.01,
+            p_shared: 0.004,
+            skew: 1.50, // hotter reuse: compilation loops
+            p_hot: 0.76,
+            hot_lines: 128,
+            p_warm: 0.04,
+            warm_lines: 5_000,
+            code_skew: 2.20,
+            store_share_scale: 0.10,
+            p_true_share: 0.20,
+        },
+        os: PhaseProfile {
+            p_os_data: 0.50,
+            p_shared: 0.01,
+            shared_lines: 512,
+            os_lines: 24_000,
+            si_rate: 1.0 / 160.0,
+            ..commercial_os()
+        },
+        // Table 2: 312k user / 47k OS cycles.
+        mean_user_insts: 439_000,
+        mean_os_insts: 21_300,
+    }
+}
+
+fn spec_like() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "spec-like",
+        user: PhaseProfile {
+            load_frac: 0.26,
+            store_frac: 0.10,
+            branch_frac: 0.12,
+            long_alu_frac: 0.08,
+            si_rate: 1.0 / 100_000.0,
+            mispredict_rate: 0.02,
+            jump_rate: 0.25,
+            code_lines: 1_024,
+            private_lines: 30_000,
+            os_lines: 8_000,
+            shared_lines: 256,
+            p_os_data: 0.0,
+            p_shared: 0.0,
+            skew: 1.50,
+            p_hot: 0.73,
+            hot_lines: 128,
+            p_warm: 0.05,
+            warm_lines: 8_000,
+            code_skew: 2.20,
+            store_share_scale: 0.10,
+            p_true_share: 0.20,
+        },
+        os: PhaseProfile {
+            si_rate: 1.0 / 120.0,
+            p_shared: 0.0,
+            shared_lines: 256,
+            ..commercial_os()
+        },
+        // SPEC-like: several ms between OS entries (timer ticks only).
+        mean_user_insts: 3_000_000,
+        mean_os_insts: 8_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_paper_benchmarks_in_figure_order() {
+        let names: Vec<_> = Benchmark::all().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            ["Apache", "OLTP", "pgoltp", "pmake", "pgbench", "Zeus"]
+        );
+    }
+
+    #[test]
+    fn os_phases_serialize_more_than_user_phases() {
+        for b in Benchmark::all() {
+            let p = b.profile();
+            assert!(
+                p.os.si_rate > p.user.si_rate * 10.0,
+                "{}: OS code must be SI-dense",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn web_servers_are_os_heavy_dbs_are_user_dominated() {
+        // OS *cycles* dominate the web servers (Table 2: Apache 98k OS
+        // vs 59k user; Zeus 220k vs 65k). OS IPC is roughly half of
+        // user IPC, so in instruction terms this appears as OS phases
+        // comparable to user phases rather than larger.
+        for b in [Benchmark::Apache, Benchmark::Zeus] {
+            let p = b.profile();
+            assert!(
+                p.mean_os_insts * 2 > p.mean_user_insts,
+                "{} must be OS-heavy",
+                p.name
+            );
+        }
+        for b in [
+            Benchmark::Oltp,
+            Benchmark::Pgoltp,
+            Benchmark::Pgbench,
+            Benchmark::Pmake,
+        ] {
+            let p = b.profile();
+            assert!(
+                p.mean_user_insts > 3 * p.mean_os_insts,
+                "{} must be user-dominated",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn pmake_shares_least() {
+        let pm = Benchmark::Pmake.profile();
+        for b in [Benchmark::Apache, Benchmark::Oltp, Benchmark::Zeus] {
+            assert!(pm.user.p_shared < b.profile().user.p_shared / 5.0);
+        }
+    }
+
+    #[test]
+    fn synthetic_benchmark_scales_its_os_entry_interval() {
+        let short = Benchmark::Synthetic {
+            user_kilo_insts: 25,
+        }
+        .profile();
+        let long = Benchmark::Synthetic {
+            user_kilo_insts: 1500,
+        }
+        .profile();
+        assert_eq!(short.mean_user_insts, 25_000);
+        assert_eq!(long.mean_user_insts, 1_500_000);
+        assert_eq!(short.mean_os_insts, long.mean_os_insts);
+        short.validate().unwrap();
+        long.validate().unwrap();
+        // Degenerate parameter is clamped, not zero.
+        let min = Benchmark::Synthetic { user_kilo_insts: 0 }.profile();
+        assert_eq!(min.mean_user_insts, 1000);
+    }
+
+    #[test]
+    fn spec_like_rarely_enters_os() {
+        let s = Benchmark::SpecLike.profile();
+        for b in Benchmark::all() {
+            assert!(s.mean_user_insts > b.profile().mean_user_insts * 5);
+        }
+    }
+
+    #[test]
+    fn table2_ordering_is_respected() {
+        // Per Table 2, pgbench has the longest user phases and Apache
+        // the shortest; Zeus has the longest OS phases.
+        // Phase lengths are calibrated in *instructions* (= Table 2
+        // cycles x measured phase IPC), so only orderings that survive
+        // the IPC scaling are asserted.
+        let by = |b: Benchmark| b.profile().mean_user_insts;
+        assert!(by(Benchmark::Pgbench) > by(Benchmark::Oltp));
+        assert!(by(Benchmark::Pmake) > by(Benchmark::Oltp));
+        assert!(by(Benchmark::Oltp) > by(Benchmark::Apache));
+        let os = |b: Benchmark| b.profile().mean_os_insts;
+        assert!(os(Benchmark::Zeus) > os(Benchmark::Apache));
+        assert!(os(Benchmark::Apache) >= os(Benchmark::Oltp));
+    }
+}

@@ -1,0 +1,112 @@
+//! The dynamic micro-operation: the unit of work flowing from a
+//! workload stream through a core pipeline.
+
+use mmm_types::PhysAddr;
+
+/// Privilege level of the software issuing an instruction.
+///
+/// In the consolidated-server experiments `Os` stands for the most
+/// privileged software level (the VMM); in single-OS experiments it is
+/// the kernel. The mixed-mode rule (paper §3.4.2) is that `Os`-level
+/// code always executes in reliable (DMR) mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Privilege {
+    /// Unprivileged application (or guest-VM) code.
+    User,
+    /// Privileged system software: OS kernel or VMM.
+    Os,
+}
+
+/// Instruction class, the granularity at which the timing model
+/// distinguishes behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer/logic operation.
+    Alu,
+    /// Multi-cycle arithmetic (multiply/divide/FP).
+    LongAlu,
+    /// Memory load.
+    Load,
+    /// Memory store. Under sequential consistency the store occupies
+    /// its window entry until the L2 write completes.
+    Store,
+    /// Conditional or indirect branch.
+    Branch,
+    /// Serializing instruction: the window must drain before it
+    /// executes, and (under Reunion) it must be checked before younger
+    /// instructions may enter the pipeline (paper §5.1).
+    Serializing,
+}
+
+/// One dynamic micro-operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MicroOp {
+    /// Instruction class.
+    pub class: OpClass,
+    /// Privilege level at which it executes.
+    pub privilege: Privilege,
+    /// Data address for [`OpClass::Load`] / [`OpClass::Store`].
+    pub data_addr: Option<PhysAddr>,
+    /// Physical address of the instruction itself (drives the L1-I).
+    pub fetch_addr: PhysAddr,
+    /// Whether a branch was mispredicted (squashes younger work).
+    pub mispredicted: bool,
+    /// Execution latency in cycles once issued (excludes memory time).
+    pub exec_latency: u8,
+    /// True exactly on the first op of an OS phase (syscall, trap, or
+    /// interrupt entry) — the event that forces a transition to
+    /// reliable mode for a performance-mode VCPU.
+    pub enters_os: bool,
+    /// True exactly on the first op after an OS phase ends (return to
+    /// user code).
+    pub exits_os: bool,
+}
+
+impl MicroOp {
+    /// Whether this op references data memory.
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        matches!(self.class, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether this op is a store.
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        self.class == OpClass::Store
+    }
+
+    /// Whether this op serializes the pipeline.
+    #[inline]
+    pub fn is_serializing(&self) -> bool {
+        self.class == OpClass::Serializing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(class: OpClass) -> MicroOp {
+        MicroOp {
+            class,
+            privilege: Privilege::User,
+            data_addr: None,
+            fetch_addr: PhysAddr(0),
+            mispredicted: false,
+            exec_latency: 1,
+            enters_os: false,
+            exits_os: false,
+        }
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(op(OpClass::Load).is_mem());
+        assert!(op(OpClass::Store).is_mem());
+        assert!(op(OpClass::Store).is_store());
+        assert!(!op(OpClass::Load).is_store());
+        assert!(!op(OpClass::Alu).is_mem());
+        assert!(op(OpClass::Serializing).is_serializing());
+        assert!(!op(OpClass::Branch).is_serializing());
+    }
+}

@@ -1,0 +1,196 @@
+//! Workload profile parameters.
+//!
+//! A [`WorkloadProfile`] describes one benchmark as two
+//! [`PhaseProfile`]s (user and OS execution) plus the alternation
+//! between them. All probabilities are per-instruction; footprints are
+//! in 64-byte lines. The six concrete instances live in
+//! [`crate::benchmarks`].
+
+/// Statistical description of one execution phase (user or OS).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseProfile {
+    /// Fraction of instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction of instructions that are stores.
+    pub store_frac: f64,
+    /// Fraction of instructions that are branches.
+    pub branch_frac: f64,
+    /// Fraction of instructions that are long-latency ALU ops.
+    pub long_alu_frac: f64,
+    /// Per-instruction probability of a serializing instruction
+    /// (membars, privileged-register reads/writes, traps; paper §5.1).
+    pub si_rate: f64,
+    /// Branch misprediction probability.
+    pub mispredict_rate: f64,
+    /// Probability a taken branch jumps to a new code line (vs falling
+    /// through sequentially).
+    pub jump_rate: f64,
+    /// Code footprint in lines touched by this phase.
+    pub code_lines: u64,
+    /// Private (per-VCPU) data footprint, lines.
+    pub private_lines: u64,
+    /// OS/kernel shared-data footprint, lines (shared by all VCPUs of
+    /// the VM; the main source of C2C transfers in OS-intensive
+    /// workloads).
+    pub os_lines: u64,
+    /// Application shared-heap footprint, lines.
+    pub shared_lines: u64,
+    /// Fraction of memory accesses that target the OS-data region.
+    pub p_os_data: f64,
+    /// Fraction of memory accesses that target the shared heap.
+    pub p_shared: f64,
+    /// Power-law skew of line reuse within each region (higher ⇒
+    /// hotter hot set).
+    pub skew: f64,
+    /// Fraction of memory accesses absorbed by a small private hot
+    /// set (stack frames, register spills, top-of-heap) — the
+    /// short-reuse-distance traffic that makes real L1 hit rates high.
+    pub p_hot: f64,
+    /// Size of that hot set, in lines.
+    pub hot_lines: u64,
+    /// Fraction of memory accesses to a per-VCPU *warm* set reused
+    /// uniformly — a reuse distance larger than the private L2 but
+    /// within a fair share of the L3. This is the traffic that makes
+    /// shared-cache capacity matter: 8 VCPUs' warm sets fit the 8 MB
+    /// L3 where 16 VCPUs' do not (the paper's §5.1 "half of the
+    /// bandwidth and capacity pressure" effect).
+    pub p_warm: f64,
+    /// Size of the warm set, in lines.
+    pub warm_lines: u64,
+    /// Power-law skew of branch-target popularity within the code
+    /// footprint (hot loops dominate fetch).
+    pub code_skew: f64,
+    /// Scale applied to `p_os_data`/`p_shared` for *stores*. Shared
+    /// kernel and heap data is read far more often than written
+    /// (writes concentrate on per-CPU structures), and modelling that
+    /// asymmetry is what keeps Reunion's input-incoherence rate at
+    /// realistic levels rather than a recovery storm.
+    pub store_share_scale: f64,
+    /// Fraction of shared-region *reads* that target the globally hot
+    /// head of the region; the rest read a per-VCPU-affine window
+    /// (per-CPU slabs, per-connection buffers, per-backend pages).
+    /// Real kernels and databases exhibit strong CPU affinity; without
+    /// it, every VCPU's hot read set is every other VCPU's write
+    /// target, and a DMR mute's cache re-stales continuously.
+    pub p_true_share: f64,
+}
+
+impl PhaseProfile {
+    /// Checks that all probabilities are sane and fractions sum below 1.
+    pub fn validate(&self) -> Result<(), String> {
+        let mix = self.load_frac + self.store_frac + self.branch_frac + self.long_alu_frac;
+        if !(0.0..=1.0).contains(&mix) {
+            return Err(format!("instruction mix sums to {mix}, must be in [0,1]"));
+        }
+        for (name, p) in [
+            ("si_rate", self.si_rate),
+            ("mispredict_rate", self.mispredict_rate),
+            ("jump_rate", self.jump_rate),
+            ("p_os_data", self.p_os_data),
+            ("p_shared", self.p_shared),
+            ("p_hot", self.p_hot),
+            ("p_warm", self.p_warm),
+            ("store_share_scale", self.store_share_scale),
+            ("p_true_share", self.p_true_share),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} out of [0,1]"));
+            }
+        }
+        if self.p_os_data + self.p_shared > 1.0 {
+            return Err("region probabilities exceed 1".into());
+        }
+        if self.code_lines == 0 || self.private_lines == 0 {
+            return Err("code and private footprints must be nonzero".into());
+        }
+        for (name, s) in [("skew", self.skew), ("code_skew", self.code_skew)] {
+            if s <= 0.0 || (s - 1.0).abs() < 1e-9 {
+                return Err(format!("{name} must be positive and != 1"));
+            }
+        }
+        if self.hot_lines == 0 || self.hot_lines > self.private_lines {
+            return Err("hot set must be nonzero and within the private footprint".into());
+        }
+        if self.p_hot + self.p_warm > 1.0 {
+            return Err("hot + warm fractions exceed 1".into());
+        }
+        if self.hot_lines + self.warm_lines > self.private_lines {
+            return Err("hot + warm sets exceed the private footprint".into());
+        }
+        Ok(())
+    }
+}
+
+/// Statistical description of one benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadProfile {
+    /// Human-readable benchmark name as printed in the paper's figures.
+    pub name: &'static str,
+    /// Behaviour of user-level execution.
+    pub user: PhaseProfile,
+    /// Behaviour of OS/VMM-level execution.
+    pub os: PhaseProfile,
+    /// Mean instructions per user phase. Together with the baseline
+    /// IPC this is calibrated so that mean user *cycles* between OS
+    /// entries matches Table 2 of the paper.
+    pub mean_user_insts: u64,
+    /// Mean instructions per OS phase (calibrated against Table 2's
+    /// OS-cycle column).
+    pub mean_os_insts: u64,
+}
+
+impl WorkloadProfile {
+    /// Validates both phases and the alternation parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        self.user.validate().map_err(|e| format!("user: {e}"))?;
+        self.os.validate().map_err(|e| format!("os: {e}"))?;
+        if self.mean_user_insts == 0 || self.mean_os_insts == 0 {
+            return Err("phase lengths must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::benchmarks::Benchmark;
+
+    #[test]
+    fn all_shipped_profiles_validate() {
+        for b in Benchmark::all() {
+            b.profile().validate().unwrap_or_else(|e| {
+                panic!("profile {} invalid: {e}", b.profile().name);
+            });
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_mix() {
+        let mut p = Benchmark::Apache.profile();
+        p.user.load_frac = 0.9;
+        p.user.store_frac = 0.9;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_region_probs() {
+        let mut p = Benchmark::Oltp.profile();
+        p.os.p_os_data = 0.7;
+        p.os.p_shared = 0.7;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_zero_footprint() {
+        let mut p = Benchmark::Pmake.profile();
+        p.user.private_lines = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_zero_phase() {
+        let mut p = Benchmark::Zeus.profile();
+        p.mean_os_insts = 0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Consolidated server with differentiated reliability (paper Figure 2).
+//!
+//! A hosting provider runs two customers on one 16-core machine. The
+//! premium customer's VM needs DMR-grade reliability; the economy
+//! customer wants throughput and tolerates occasional faults. This
+//! example compares all three policies on that scenario and prints
+//! the service each customer receives.
+//!
+//! ```sh
+//! cargo run --release --example consolidated_server
+//! ```
+
+use mixed_mode_multicore::mmm::report::print_table;
+use mixed_mode_multicore::mmm::{MixedPolicy, System, Workload};
+use mixed_mode_multicore::prelude::*;
+use mmm_types::VmId;
+
+fn main() {
+    // Short slices so the example's cycle budget covers several
+    // reliable/performance alternations.
+    let mut cfg = SystemConfig::default();
+    cfg.virt.timeslice_cycles = 150_000;
+    let bench = Benchmark::Apache;
+    let (warmup, measure) = (300_000, 1_200_000);
+    println!(
+        "Scenario: premium guest VM (reliable, 8 VCPUs) + economy guest(s) \
+         (performance), both running {}.\n",
+        bench.name()
+    );
+
+    let mut rows = Vec::new();
+    for policy in [
+        MixedPolicy::DmrBase,
+        MixedPolicy::MmmIpc,
+        MixedPolicy::MmmTp,
+    ] {
+        let mut sys = System::new(&cfg, Workload::Consolidated { bench, policy }, 7)
+            .expect("valid consolidated config");
+        let r = sys.run_measured(warmup, measure);
+        let premium = r.vm_user_commits(VmId(0));
+        let economy = r.vm_user_commits(VmId(1)) + r.vm_user_commits(VmId(2));
+        rows.push(vec![
+            policy.name().to_string(),
+            premium.to_string(),
+            economy.to_string(),
+            format!("{:.3}", r.total_user_commits() as f64 / r.cycles as f64),
+            format!(
+                "{} x {:.1}k / {} x {:.1}k",
+                r.transitions.enter.count(),
+                r.transitions.enter.mean() / 1e3,
+                r.transitions.leave.count(),
+                r.transitions.leave.mean() / 1e3,
+            ),
+        ]);
+    }
+    print_table(
+        "Differentiated service under each policy",
+        &[
+            "policy",
+            "premium VM (user instr)",
+            "economy guest(s)",
+            "machine IPC",
+            "enter/leave DMR",
+        ],
+        &rows,
+    );
+    println!(
+        "\nReading the table: DMR Base protects everyone and wastes the economy \
+         customer's money; MMM-IPC frees the redundant cores' check latency; \
+         MMM-TP additionally schedules independent VCPUs onto the freed cores \
+         (the paper's ~2x overall-throughput result), while the premium VM's \
+         protection — and the VMM's — is never compromised."
+    );
+}

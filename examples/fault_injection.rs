@@ -1,0 +1,108 @@
+//! Fault injection: watch the protection machinery earn its keep.
+//!
+//! Runs the mixed-mode consolidated server (MMM-TP) with an
+//! aggressively high transient-fault rate and reports where every
+//! fault went:
+//!
+//! * faults striking DMR cores are detected as fingerprint mismatches
+//!   and recovered by Reunion;
+//! * TLB/permission faults on performance cores become *wild stores*;
+//!   the Protection Assistance Buffer blocks the ones aimed at
+//!   reliable-only pages (the reliable VM, the scratchpad, the PAT
+//!   itself) before they reach the L2;
+//! * privileged-register corruption during performance mode is caught
+//!   by the Enter-DMR verification step at the next mode switch;
+//! * faults that only damage the performance domain are tolerated by
+//!   assumption — exactly the paper's bargain.
+//!
+//! ```sh
+//! cargo run --release --example fault_injection
+//! ```
+
+use mixed_mode_multicore::mmm::{MixedPolicy, System, Workload};
+use mixed_mode_multicore::prelude::*;
+
+fn main() {
+    let mut cfg = SystemConfig::default();
+    cfg.virt.timeslice_cycles = 300_000;
+    let mut sys = System::new(
+        &cfg,
+        Workload::Consolidated {
+            bench: Benchmark::Pgoltp,
+            policy: MixedPolicy::MmmTp,
+        },
+        11,
+    )
+    .expect("valid config");
+
+    // ~1 fault per 100k core-cycles: absurdly high for silicon, ideal
+    // for exercising the protection paths quickly.
+    sys.enable_fault_injection(1e-5, 99);
+    let report = sys.run_measured(100_000, 2_000_000);
+    let f = report.faults;
+
+    println!(
+        "Injected {} transient faults over {} cycles:\n",
+        f.injected, report.cycles
+    );
+    println!(
+        "  detected by DMR fingerprint mismatch : {}",
+        f.detected_by_dmr
+    );
+    println!(
+        "  wild stores BLOCKED by the PAB       : {}",
+        f.wild_stores_blocked
+    );
+    println!(
+        "  wild stores into performance pages   : {}",
+        f.wild_stores_corrupting
+    );
+    println!(
+        "  priv-reg faults caught entering DMR  : {}",
+        f.privreg_caught_at_entry
+    );
+    println!(
+        "  silent performance-domain faults     : {}",
+        f.silent_perf_faults
+    );
+    println!(
+        "  struck idle cores                    : {}",
+        f.on_idle_core
+    );
+    println!(
+        "\nContainment: {}/{} faults were detected, blocked, or harmless;",
+        f.contained(),
+        f.injected
+    );
+    println!(
+        "{} affected only the performance domain, which tolerates them by contract.",
+        f.wild_stores_corrupting + f.silent_perf_faults
+    );
+    println!(
+        "\nReunion recovered {} fingerprint mismatches ({} from mute input \
+         incoherence) costing {} recovery cycles — and the reliable VM still \
+         committed {} user instructions.",
+        report.pairs.faults_detected + report.pairs.input_incoherence,
+        report.pairs.input_incoherence,
+        report.pairs.recovery_cycles,
+        report.vm_user_commits(mmm_types::VmId(0))
+    );
+    assert_eq!(
+        f.injected,
+        f.contained() + f.wild_stores_corrupting + f.silent_perf_faults + pending_privreg(&f),
+        "every fault is accounted for"
+    );
+}
+
+/// Privileged-register corruptions still armed (no DMR entry yet).
+fn pending_privreg(f: &mixed_mode_multicore::mmm::FaultStats) -> u64 {
+    // Injected faults are classified eagerly except PrivReg arms that
+    // have not reached their next Enter-DMR verification.
+    f.injected
+        - f.detected_by_dmr
+        - f.wild_stores_blocked
+        - f.wild_stores_corrupting
+        - f.privreg_caught_at_entry
+        - f.silent_perf_faults
+        - f.on_idle_core
+}

@@ -1,0 +1,88 @@
+//! Quickstart: measure what dual-modular redundancy costs, and what
+//! mixed-mode operation buys back.
+//!
+//! Builds the paper's 16-core machine three times — all-performance,
+//! all-DMR (Reunion), and mixed-mode (MMM-TP) — runs the same OLTP
+//! workload on each, and prints the comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mixed_mode_multicore::mmm::{MixedPolicy, System, Workload};
+use mixed_mode_multicore::prelude::*;
+use mmm_types::VmId;
+
+fn main() {
+    // Short gang timeslices so this quickstart's small cycle budget
+    // still covers several reliable/performance alternations (the
+    // paper's 1 ms = 3 M-cycle slices need much longer runs).
+    let mut cfg = SystemConfig::default();
+    cfg.virt.timeslice_cycles = 100_000;
+    let bench = Benchmark::Oltp;
+    let (warmup, measure) = (150_000, 800_000);
+
+    println!(
+        "Machine: {} cores, {} DMR pairs, 3 GHz",
+        cfg.cores,
+        cfg.pairs()
+    );
+    println!(
+        "Workload: {} | warmup {warmup} + measure {measure} cycles\n",
+        bench.name()
+    );
+
+    // 1. Everything fast, nothing protected.
+    let mut fast = System::new(&cfg, Workload::NoDmr2x(bench), 1).expect("valid");
+    let fast_report = fast.run_measured(warmup, measure);
+
+    // 2. Everything protected: Reunion DMR on all 16 cores.
+    let mut safe = System::new(&cfg, Workload::ReunionDmr(bench), 1).expect("valid");
+    let safe_report = safe.run_measured(warmup, measure);
+
+    // 3. Mixed: one reliable guest VM keeps DMR; performance guests
+    //    use all cores when scheduled (MMM-TP).
+    let mut mixed = System::new(
+        &cfg,
+        Workload::Consolidated {
+            bench,
+            policy: MixedPolicy::MmmTp,
+        },
+        1,
+    )
+    .expect("valid");
+    let mixed_report = mixed.run_measured(warmup, measure);
+
+    let tp = |r: &mixed_mode_multicore::mmm::SystemReport| {
+        r.total_user_commits() as f64 / r.cycles as f64
+    };
+    println!("throughput (user instructions / cycle, whole machine):");
+    println!("  all-performance (No DMR 2X) : {:.3}", tp(&fast_report));
+    println!(
+        "  all-reliable (Reunion DMR)  : {:.3}  ({:.1}x slower)",
+        tp(&safe_report),
+        tp(&fast_report) / tp(&safe_report)
+    );
+    println!("  mixed-mode (MMM-TP)         : {:.3}", tp(&mixed_report));
+    println!(
+        "\nmixed-mode detail: reliable VM kept DMR protection \
+         ({} user instructions committed),",
+        mixed_report.vm_user_commits(VmId(0))
+    );
+    println!(
+        "performance guests ran unprotected at full speed ({} instructions),",
+        mixed_report.vm_user_commits(VmId(1)) + mixed_report.vm_user_commits(VmId(2))
+    );
+    println!(
+        "with {} Enter-DMR transitions averaging {:.0} cycles and {} Leave-DMR \
+         averaging {:.0} cycles.",
+        mixed_report.transitions.enter.count(),
+        mixed_report.transitions.enter.mean(),
+        mixed_report.transitions.leave.count(),
+        mixed_report.transitions.leave.mean()
+    );
+    println!(
+        "\nReunion detected {} input-incoherence events and recovered every one.",
+        safe_report.pairs.input_incoherence
+    );
+}

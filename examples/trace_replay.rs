@@ -1,0 +1,63 @@
+//! Trace-driven simulation: record once, replay anywhere.
+//!
+//! Records a window of the OLTP workload, serializes it to the compact
+//! binary format, decodes it back, and runs a core on the replay —
+//! demonstrating the workflow for pinning a workload across simulator
+//! versions or sweeping configurations over the *exact same*
+//! instruction sequence.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use mixed_mode_multicore::cpu::{Core, ExecContext};
+use mixed_mode_multicore::mem::MemorySystem;
+use mixed_mode_multicore::prelude::*;
+use mixed_mode_multicore::workload::{OpStream, Trace};
+use mmm_types::{CoreId, VcpuId, VmId};
+
+fn main() {
+    let cfg = SystemConfig::default();
+
+    // 1. Record a 200k-op window of OLTP.
+    let mut stream = OpStream::new(Benchmark::Oltp.profile(), VmId(0), VcpuId(0), 42);
+    let trace = Trace::record(&mut stream, 200_000);
+    let s = trace.summary();
+    println!(
+        "recorded {} ops: {} loads, {} stores, {} branches, {} serializing, {} OS entries",
+        s.total, s.loads, s.stores, s.branches, s.serializing, s.os_entries
+    );
+
+    // 2. Serialize / deserialize (this is what you would write to a
+    //    file and check into a regression corpus).
+    let bytes = trace.to_bytes();
+    println!(
+        "serialized to {} bytes ({:.1} bytes/op)",
+        bytes.len(),
+        bytes.len() as f64 / s.total as f64
+    );
+    let decoded = Trace::from_bytes(&bytes).expect("round trip");
+    assert_eq!(decoded.ops(), trace.ops());
+
+    // 3. Run a core on the replay and on the live stream; identical
+    //    work, identical timing.
+    let run = |ctx: ExecContext| {
+        let mut core = Core::new(CoreId(0), &cfg);
+        let mut mem = MemorySystem::new(&cfg);
+        core.set_context(ctx);
+        for now in 0..150_000u64 {
+            core.tick(now, &mut mem);
+        }
+        core.stats().commits()
+    };
+    let live = run(ExecContext::new(OpStream::new(
+        Benchmark::Oltp.profile(),
+        VmId(0),
+        VcpuId(0),
+        42,
+    )));
+    let replayed = run(ExecContext::from_replay(decoded.replay()));
+    println!("commits over 150k cycles — live: {live}, replayed: {replayed}");
+    assert_eq!(live, replayed, "replay is cycle-equivalent");
+    println!("trace-driven execution matches live execution exactly.");
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Reproduces every table and figure of the paper's evaluation plus the
+# extension studies, writing results/*.txt. Takes on the order of an
+# hour at the default run lengths; scale with MMM_WARMUP / MMM_MEASURE
+# / MMM_SEEDS.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release -p mmm-bench
+mkdir -p results
+
+export MMM_SEEDS="${MMM_SEEDS:-5}"
+./target/release/fig5 --diagnostics | tee results/fig5.txt
+./target/release/table1            | tee results/table1.txt
+./target/release/table2            | tee results/table2.txt
+./target/release/fig6              | tee results/fig6.txt
+./target/release/pab_latency       | tee results/pab_latency.txt
+
+export MMM_SEEDS=3
+./target/release/overcommit        | tee results/overcommit.txt
+./target/release/switch_sweep      | tee results/switch_sweep.txt
+./target/release/ablations         | tee results/ablations.txt
+./target/release/fault_coverage    | tee results/fault_coverage.txt
+
+echo "done — see results/ and EXPERIMENTS.md"

@@ -1,0 +1,409 @@
+//! `mmm` — command-line driver for the mixed-mode multicore simulator.
+//!
+//! Runs any of the paper's machine configurations on any workload and
+//! prints the full report. Examples:
+//!
+//! ```sh
+//! mmm --config reunion --bench apache --measure 2000000
+//! mmm --config mmm-tp  --bench oltp   --seeds 3
+//! mmm --config single-os --bench pmake --fault-rate 1e-6
+//! mmm --list
+//! ```
+
+use std::process::ExitCode;
+
+use mixed_mode_multicore::mmm::report::{fmt_cycles, print_table};
+use mixed_mode_multicore::mmm::{Experiment, MixedPolicy, Workload};
+use mixed_mode_multicore::prelude::*;
+use mmm_types::VmId;
+
+const USAGE: &str = "\
+mmm — mixed-mode multicore simulator (ASPLOS 2009 reproduction)
+
+USAGE:
+    mmm [OPTIONS]
+
+OPTIONS:
+    --config <NAME>      machine configuration (default: mmm-tp)
+                         no-dmr-2x | no-dmr | reunion |
+                         dmr-base | mmm-ipc | mmm-tp | single-os |
+                         overcommit (see --reliable/--perf)
+    --reliable <N>       overcommit: reliable VCPUs (default: 2)
+    --perf <N>           overcommit: performance VCPUs (default: 16)
+    --bench <NAME>       workload (default: oltp)
+                         apache | oltp | pgoltp | pmake | pgbench |
+                         zeus | spec
+    --warmup <CYCLES>    warm-up cycles (default: 500000)
+    --measure <CYCLES>   measured cycles (default: 2000000)
+    --seeds <N>          seeds to average over (default: 1)
+    --timeslice <CYCLES> gang timeslice (default: 3000000, the paper's 1 ms)
+    --fault-rate <RATE>  transient faults per core-cycle (default: off)
+    --serial-pab         use the 2-cycle serial PAB lookup
+    --tso                use TSO consistency instead of SC
+    --list               list configurations and workloads
+    --help               this text
+";
+
+fn parse_bench(s: &str) -> Option<Benchmark> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "apache" => Benchmark::Apache,
+        "oltp" => Benchmark::Oltp,
+        "pgoltp" => Benchmark::Pgoltp,
+        "pmake" => Benchmark::Pmake,
+        "pgbench" => Benchmark::Pgbench,
+        "zeus" => Benchmark::Zeus,
+        "spec" | "spec-like" => Benchmark::SpecLike,
+        _ => return None,
+    })
+}
+
+fn parse_config(s: &str, bench: Benchmark, reliable: u16, perf: u16) -> Option<Workload> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "overcommit" | "overcommitted" => Workload::Overcommitted {
+            bench,
+            reliable,
+            perf,
+        },
+        "no-dmr-2x" | "nodmr2x" => Workload::NoDmr2x(bench),
+        "no-dmr" | "nodmr" => Workload::NoDmr(bench),
+        "reunion" | "dmr" => Workload::ReunionDmr(bench),
+        "dmr-base" => Workload::Consolidated {
+            bench,
+            policy: MixedPolicy::DmrBase,
+        },
+        "mmm-ipc" => Workload::Consolidated {
+            bench,
+            policy: MixedPolicy::MmmIpc,
+        },
+        "mmm-tp" => Workload::Consolidated {
+            bench,
+            policy: MixedPolicy::MmmTp,
+        },
+        "single-os" => Workload::SingleOsMixed(bench),
+        _ => return None,
+    })
+}
+
+struct Args {
+    config: String,
+    bench: String,
+    warmup: u64,
+    measure: u64,
+    seeds: u64,
+    timeslice: u64,
+    fault_rate: Option<f64>,
+    serial_pab: bool,
+    tso: bool,
+    reliable: u16,
+    perf: u16,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    parse_args_from(std::env::args().skip(1))
+}
+
+fn parse_args_from(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
+    let mut args = Args {
+        config: "mmm-tp".into(),
+        bench: "oltp".into(),
+        warmup: 500_000,
+        measure: 2_000_000,
+        seeds: 1,
+        timeslice: 3_000_000,
+        fault_rate: None,
+        serial_pab: false,
+        tso: false,
+        reliable: 2,
+        perf: 16,
+    };
+    let mut it = argv;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            "--list" => {
+                println!(
+                    "configs:   no-dmr-2x no-dmr reunion dmr-base mmm-ipc mmm-tp \
+                     single-os overcommit"
+                );
+                println!("workloads: apache oltp pgoltp pmake pgbench zeus spec");
+                return Ok(None);
+            }
+            "--config" => args.config = value("--config")?,
+            "--bench" => args.bench = value("--bench")?,
+            "--warmup" => {
+                args.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?
+            }
+            "--measure" => {
+                args.measure = value("--measure")?
+                    .parse()
+                    .map_err(|e| format!("--measure: {e}"))?
+            }
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--timeslice" => {
+                args.timeslice = value("--timeslice")?
+                    .parse()
+                    .map_err(|e| format!("--timeslice: {e}"))?
+            }
+            "--fault-rate" => {
+                args.fault_rate = Some(
+                    value("--fault-rate")?
+                        .parse()
+                        .map_err(|e| format!("--fault-rate: {e}"))?,
+                )
+            }
+            "--serial-pab" => args.serial_pab = true,
+            "--tso" => args.tso = true,
+            "--reliable" => {
+                args.reliable = value("--reliable")?
+                    .parse()
+                    .map_err(|e| format!("--reliable: {e}"))?
+            }
+            "--perf" => {
+                args.perf = value("--perf")?
+                    .parse()
+                    .map_err(|e| format!("--perf: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(Some(args))
+}
+
+#[allow(clippy::field_reassign_with_default)] // documented Experiment usage
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(bench) = parse_bench(&args.bench) else {
+        eprintln!("error: unknown workload {:?} (try --list)", args.bench);
+        return ExitCode::FAILURE;
+    };
+    let Some(workload) = parse_config(&args.config, bench, args.reliable, args.perf) else {
+        eprintln!("error: unknown config {:?} (try --list)", args.config);
+        return ExitCode::FAILURE;
+    };
+
+    let mut e = Experiment::default();
+    e.warmup = args.warmup;
+    e.measure = args.measure;
+    e.seeds = (1..=args.seeds.max(1)).collect();
+    e.fault_rate = args.fault_rate;
+    e.cfg.virt.timeslice_cycles = args.timeslice;
+    if args.serial_pab {
+        e.cfg.pab.lookup = mmm_types::config::PabLookup::Serial;
+    }
+    if args.tso {
+        e.cfg.consistency = mmm_types::config::Consistency::Tso;
+    }
+
+    println!(
+        "{} / {} — warmup {} + measure {} cycles, {} seed(s)",
+        workload.name(),
+        bench.name(),
+        args.warmup,
+        args.measure,
+        e.seeds.len()
+    );
+    let run = match e.run_workload(workload) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (ipc, ipc_ci) = run.avg_user_ipc();
+    let (tp, tp_ci) = run.throughput();
+    println!("\nper-thread user IPC : {ipc:.4} ±{ipc_ci:.4}");
+    println!("machine throughput  : {tp:.4} ±{tp_ci:.4} user instr/cycle");
+
+    let r = &run.reports[0];
+    let mut vm_rows = Vec::new();
+    let mut vms: Vec<VmId> = r.vcpus.iter().map(|v| v.vm).collect();
+    vms.sort_unstable();
+    vms.dedup();
+    for vm in vms {
+        vm_rows.push(vec![
+            vm.to_string(),
+            r.vcpus.iter().filter(|v| v.vm == vm).count().to_string(),
+            r.vm_user_commits(vm).to_string(),
+            format!("{:.4}", r.vm_avg_user_ipc(vm)),
+            format!("{:.1}%", r.vm_dmr_coverage(vm) * 100.0),
+        ]);
+    }
+    print_table(
+        "per-VM results (seed 1)",
+        &["vm", "vcpus", "user instr", "avg user IPC", "DMR coverage"],
+        &vm_rows,
+    );
+
+    if r.transitions.enter.count() + r.transitions.leave.count() > 0 {
+        print_table(
+            "mode transitions (seed 1)",
+            &["kind", "count", "mean cycles"],
+            &[
+                vec![
+                    "enter DMR".into(),
+                    r.transitions.enter.count().to_string(),
+                    fmt_cycles(r.transitions.enter.mean()),
+                ],
+                vec![
+                    "leave DMR".into(),
+                    r.transitions.leave.count().to_string(),
+                    fmt_cycles(r.transitions.leave.mean()),
+                ],
+            ],
+        );
+    }
+    if r.faults.injected > 0 {
+        let f = r.faults;
+        print_table(
+            "fault outcomes (seed 1)",
+            &["outcome", "count"],
+            &[
+                vec!["injected".into(), f.injected.to_string()],
+                vec!["detected by DMR".into(), f.detected_by_dmr.to_string()],
+                vec![
+                    "wild stores blocked (PAB)".into(),
+                    f.wild_stores_blocked.to_string(),
+                ],
+                vec![
+                    "wild stores (perf pages)".into(),
+                    f.wild_stores_corrupting.to_string(),
+                ],
+                vec![
+                    "privreg caught at entry".into(),
+                    f.privreg_caught_at_entry.to_string(),
+                ],
+                vec![
+                    "silent (perf domain)".into(),
+                    f.silent_perf_faults.to_string(),
+                ],
+                vec!["idle cores".into(), f.on_idle_core.to_string()],
+            ],
+        );
+    }
+    println!(
+        "\ndiagnostics: SI-stall {:.1}%  window-full {:.1}%  C2C/ki {:.1}  \
+         incoherence {}  DMR coverage {:.1}%",
+        r.si_stall_fraction() * 100.0,
+        r.window_full_fraction() * 100.0,
+        r.c2c_per_kilo_instr(),
+        r.pairs.input_incoherence,
+        r.dmr_coverage() * 100.0,
+    );
+    if r.phases.user.count() + r.phases.os.count() > 0 {
+        println!();
+        print!("{}", r.phases.user.render("user-phase cycles"));
+        print!("{}", r.phases.os.render("OS-phase cycles"));
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Option<Args>, String> {
+        parse_args_from(words.iter().map(|w| w.to_string()))
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let a = parse(&[]).unwrap().unwrap();
+        assert_eq!(a.config, "mmm-tp");
+        assert_eq!(a.bench, "oltp");
+        assert_eq!(a.seeds, 1);
+    }
+
+    #[test]
+    fn flags_override() {
+        let a = parse(&[
+            "--config",
+            "reunion",
+            "--bench",
+            "zeus",
+            "--seeds",
+            "4",
+            "--measure",
+            "123",
+            "--warmup",
+            "45",
+            "--timeslice",
+            "999",
+            "--fault-rate",
+            "1e-6",
+            "--serial-pab",
+            "--tso",
+            "--reliable",
+            "3",
+            "--perf",
+            "11",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(a.config, "reunion");
+        assert_eq!(a.bench, "zeus");
+        assert_eq!(a.seeds, 4);
+        assert_eq!(a.measure, 123);
+        assert_eq!(a.warmup, 45);
+        assert_eq!(a.timeslice, 999);
+        assert_eq!(a.fault_rate, Some(1e-6));
+        assert!(a.serial_pab && a.tso);
+        assert_eq!((a.reliable, a.perf), (3, 11));
+    }
+
+    #[test]
+    fn help_and_list_short_circuit() {
+        assert!(parse(&["--help"]).unwrap().is_none());
+        assert!(parse(&["--list"]).unwrap().is_none());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--seeds"]).is_err());
+        assert!(parse(&["--seeds", "abc"]).is_err());
+    }
+
+    #[test]
+    fn workload_and_bench_names_resolve() {
+        for c in [
+            "no-dmr-2x",
+            "no-dmr",
+            "reunion",
+            "dmr-base",
+            "mmm-ipc",
+            "mmm-tp",
+            "single-os",
+            "overcommit",
+        ] {
+            assert!(
+                parse_config(c, Benchmark::Apache, 2, 4).is_some(),
+                "config {c}"
+            );
+        }
+        assert!(parse_config("nope", Benchmark::Apache, 2, 4).is_none());
+        for b in [
+            "apache", "oltp", "pgoltp", "pmake", "pgbench", "zeus", "spec",
+        ] {
+            assert!(parse_bench(b).is_some(), "bench {b}");
+        }
+        assert!(parse_bench("nope").is_none());
+    }
+}

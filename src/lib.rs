@@ -1,0 +1,50 @@
+//! # Mixed-Mode Multicore Reliability — reproduction
+//!
+//! A cycle-level multicore simulator reproducing *Mixed-Mode Multicore
+//! Reliability* (Philip M. Wells, Koushik Chakraborty, Gurindar S.
+//! Sohi; ASPLOS 2009): a 16-core chip that runs some virtual CPUs
+//! under Reunion dual-modular redundancy while others run at full
+//! speed in performance mode, simultaneously and safely.
+//!
+//! This crate is a facade: it re-exports the workspace crates under
+//! stable module names so applications depend on one crate.
+//!
+//! ```
+//! use mixed_mode_multicore::prelude::*;
+//!
+//! let config = SystemConfig::default();
+//! assert_eq!(config.cores, 16);
+//! ```
+//!
+//! See `README.md` for a guided tour and `DESIGN.md` for the system
+//! inventory and the per-experiment index.
+
+#![forbid(unsafe_code)]
+
+/// Common identifiers, configuration, statistics, and RNG.
+pub use mmm_types as types;
+
+/// Statistical workload models (Apache, OLTP, pgoltp, pmake, pgbench,
+/// Zeus) and the physical-address layout.
+pub use mmm_workload as workload;
+
+/// Memory hierarchy: write-through L1s, private L2s, shared exclusive
+/// L3, MOSI directory, interconnect, DRAM.
+pub use mmm_mem as mem;
+
+/// Out-of-order core timing model.
+pub use mmm_cpu as cpu;
+
+/// Reunion dual-modular redundancy.
+pub use mmm_reunion as reunion;
+
+/// The Mixed-Mode Multicore itself: PAT/PAB protection, mode
+/// transitions, virtualization, scheduling, fault injection, and the
+/// full-system simulator.
+pub use mmm_core as mmm;
+
+/// The names most applications need.
+pub mod prelude {
+    pub use mmm_types::{config::Consistency, CoreId, Cycle, DetRng, SystemConfig, VcpuId, VmId};
+    pub use mmm_workload::{Benchmark, OpStream, WorkloadProfile};
+}

@@ -1,0 +1,81 @@
+//! Reproducibility: identical seeds give bit-identical experiments for
+//! every configuration — the property the whole evaluation methodology
+//! rests on.
+
+use mixed_mode_multicore::mmm::{MixedPolicy, System, Workload};
+use mixed_mode_multicore::prelude::*;
+
+fn fingerprint(w: Workload, seed: u64) -> (u64, u64, u64, u64, u64) {
+    let mut cfg = SystemConfig::default();
+    cfg.virt.timeslice_cycles = 120_000;
+    let mut sys = System::new(&cfg, w, seed).expect("valid workload");
+    let r = sys.run_measured(60_000, 400_000);
+    (
+        r.total_user_commits(),
+        r.vcpus.iter().map(|v| v.os_commits).sum(),
+        r.mem.c2c_transfers,
+        r.pairs.ops_compared,
+        r.transitions.enter.count() + r.transitions.leave.count(),
+    )
+}
+
+fn all_workloads() -> Vec<Workload> {
+    let b = Benchmark::Apache;
+    vec![
+        Workload::NoDmr2x(b),
+        Workload::NoDmr(b),
+        Workload::ReunionDmr(b),
+        Workload::Consolidated {
+            bench: b,
+            policy: MixedPolicy::DmrBase,
+        },
+        Workload::Consolidated {
+            bench: b,
+            policy: MixedPolicy::MmmIpc,
+        },
+        Workload::Consolidated {
+            bench: b,
+            policy: MixedPolicy::MmmTp,
+        },
+        Workload::SingleOsMixed(b),
+    ]
+}
+
+#[test]
+fn same_seed_is_bit_identical_for_every_configuration() {
+    for w in all_workloads() {
+        assert_eq!(
+            fingerprint(w, 42),
+            fingerprint(w, 42),
+            "{} must be deterministic",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let w = Workload::ReunionDmr(Benchmark::Apache);
+    assert_ne!(fingerprint(w, 1), fingerprint(w, 2));
+}
+
+#[test]
+fn fault_injection_is_deterministic_too() {
+    let run = || {
+        let mut cfg = SystemConfig::default();
+        cfg.virt.timeslice_cycles = 120_000;
+        let mut sys = System::new(
+            &cfg,
+            Workload::Consolidated {
+                bench: Benchmark::Oltp,
+                policy: MixedPolicy::MmmTp,
+            },
+            9,
+        )
+        .unwrap();
+        sys.enable_fault_injection(1e-5, 33);
+        let r = sys.run_measured(50_000, 400_000);
+        (r.faults, r.total_user_commits())
+    };
+    assert_eq!(run(), run());
+}

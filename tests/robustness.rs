@@ -1,0 +1,142 @@
+//! Robustness: the simulator must stay correct far from the paper's
+//! configuration point — tiny machines, tiny caches, narrow cores,
+//! extreme knobs.
+#![allow(clippy::field_reassign_with_default)] // config-override style
+
+use mixed_mode_multicore::mmm::{MixedPolicy, System, Workload};
+use mixed_mode_multicore::prelude::*;
+use mmm_types::config::CacheGeometry;
+
+fn tiny_machine() -> SystemConfig {
+    let mut cfg = SystemConfig::default();
+    cfg.cores = 4;
+    cfg.core.width = 1;
+    cfg.core.window_entries = 16;
+    cfg.core.load_queue = 4;
+    cfg.core.store_queue = 4;
+    cfg.mem.l1i = CacheGeometry::new(4 * 1024, 2).unwrap();
+    cfg.mem.l1d = CacheGeometry::new(4 * 1024, 2).unwrap();
+    cfg.mem.l2 = CacheGeometry::new(32 * 1024, 4).unwrap();
+    cfg.mem.l3 = CacheGeometry::new(256 * 1024, 16).unwrap();
+    cfg.virt.timeslice_cycles = 60_000;
+    cfg
+}
+
+fn all_workloads() -> Vec<Workload> {
+    let b = Benchmark::Apache;
+    vec![
+        Workload::NoDmr2x(b),
+        Workload::NoDmr(b),
+        Workload::ReunionDmr(b),
+        Workload::Consolidated {
+            bench: b,
+            policy: MixedPolicy::DmrBase,
+        },
+        Workload::Consolidated {
+            bench: b,
+            policy: MixedPolicy::MmmIpc,
+        },
+        Workload::Consolidated {
+            bench: b,
+            policy: MixedPolicy::MmmTp,
+        },
+        Workload::SingleOsMixed(b),
+        Workload::Overcommitted {
+            bench: b,
+            reliable: 1,
+            perf: 4,
+        },
+    ]
+}
+
+#[test]
+fn every_configuration_runs_on_a_four_core_machine() {
+    let cfg = tiny_machine();
+    for w in all_workloads() {
+        let mut sys = System::new(&cfg, w, 1).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        let r = sys.run_measured(30_000, 250_000);
+        assert!(
+            r.total_user_commits() > 1_000,
+            "{} made no progress on the tiny machine: {}",
+            w.name(),
+            r.total_user_commits()
+        );
+    }
+}
+
+#[test]
+fn single_wide_in_order_ish_core_still_progresses() {
+    let mut cfg = SystemConfig::default();
+    cfg.core.width = 1;
+    cfg.core.window_entries = 4;
+    cfg.core.load_queue = 2;
+    cfg.core.store_queue = 2;
+    let mut sys = System::new(&cfg, Workload::NoDmr(Benchmark::Pmake), 2).unwrap();
+    let r = sys.run_measured(20_000, 200_000);
+    let ipc = r.avg_user_ipc();
+    assert!(ipc > 0.02, "narrow core IPC: {ipc}");
+    assert!(ipc < 1.0, "a 1-wide core cannot exceed IPC 1: {ipc}");
+}
+
+#[test]
+fn fault_injection_survives_the_tiny_machine() {
+    let cfg = tiny_machine();
+    let mut sys = System::new(
+        &cfg,
+        Workload::Consolidated {
+            bench: Benchmark::Apache,
+            policy: MixedPolicy::MmmTp,
+        },
+        3,
+    )
+    .unwrap();
+    sys.enable_fault_injection(5e-5, 17);
+    let r = sys.run_measured(30_000, 400_000);
+    assert!(r.faults.injected > 10);
+    assert!(r.total_user_commits() > 1_000, "machine survived the storm");
+}
+
+#[test]
+fn extreme_reunion_knobs_do_not_deadlock() {
+    let mut cfg = SystemConfig::default();
+    cfg.cores = 4;
+    cfg.reunion.fingerprint_latency = 200; // absurdly slow network
+    cfg.reunion.fingerprint_interval = 1; // per-op exchange
+    cfg.reunion.recovery_penalty = 1_000;
+    let mut sys = System::new(&cfg, Workload::ReunionDmr(Benchmark::Zeus), 4).unwrap();
+    let r = sys.run_measured(20_000, 300_000);
+    assert!(
+        r.total_user_commits() > 100,
+        "slow fingerprints throttle but never deadlock: {}",
+        r.total_user_commits()
+    );
+}
+
+#[test]
+fn zero_length_measurement_is_safe() {
+    let cfg = SystemConfig::default();
+    let mut sys = System::new(&cfg, Workload::NoDmr(Benchmark::Oltp), 5).unwrap();
+    let r = sys.run_measured(10_000, 0);
+    assert_eq!(r.total_user_commits(), 0);
+    assert_eq!(r.avg_user_ipc(), 0.0);
+    assert_eq!(r.dmr_coverage(), 0.0);
+}
+
+#[test]
+fn odd_vcpu_overcommit_mixes() {
+    // 5 reliable pairs (10 cores) + 9 perf = 19 demand on 16 cores.
+    let mut cfg = SystemConfig::default();
+    cfg.virt.timeslice_cycles = 50_000;
+    let mut sys = System::new(
+        &cfg,
+        Workload::Overcommitted {
+            bench: Benchmark::Pmake,
+            reliable: 5,
+            perf: 9,
+        },
+        6,
+    )
+    .unwrap();
+    let r = sys.run_measured(50_000, 500_000);
+    assert!(r.vcpus.iter().all(|v| v.user_commits > 0), "{:?}", r.vcpus);
+}

@@ -1,0 +1,78 @@
+//! Trace-driven execution: a recorded window replayed through a core
+//! must behave exactly like the live stream that produced it.
+
+use mixed_mode_multicore::cpu::{Core, ExecContext};
+use mixed_mode_multicore::mem::MemorySystem;
+use mixed_mode_multicore::prelude::*;
+use mixed_mode_multicore::workload::{OpStream, Trace};
+use mmm_types::{CoreId, VcpuId, VmId};
+
+fn stream() -> OpStream {
+    OpStream::new(Benchmark::Oltp.profile(), VmId(0), VcpuId(0), 42)
+}
+
+#[test]
+fn replay_execution_matches_live_execution() {
+    let cfg = SystemConfig::default();
+    let cycles = 120_000u64;
+
+    // Live run.
+    let mut live_core = Core::new(CoreId(0), &cfg);
+    let mut live_mem = MemorySystem::new(&cfg);
+    live_core.set_context(ExecContext::new(stream()));
+    for now in 0..cycles {
+        live_core.tick(now, &mut live_mem);
+    }
+
+    // Trace-driven run over the same window (record more ops than the
+    // live run can possibly commit).
+    let trace = Trace::record(&mut stream(), 300_000);
+    let mut replay_core = Core::new(CoreId(0), &cfg);
+    let mut replay_mem = MemorySystem::new(&cfg);
+    replay_core.set_context(ExecContext::from_replay(trace.replay()));
+    for now in 0..cycles {
+        replay_core.tick(now, &mut replay_mem);
+    }
+
+    assert_eq!(
+        live_core.stats().commits(),
+        replay_core.stats().commits(),
+        "replay must be cycle-equivalent to the live stream"
+    );
+    assert_eq!(
+        live_core.stats().commits_user,
+        replay_core.stats().commits_user
+    );
+}
+
+#[test]
+fn looped_replay_sustains_execution_past_the_window() {
+    let cfg = SystemConfig::default();
+    // A short trace, looped: the core must keep committing well past
+    // one window's worth of instructions.
+    let trace = Trace::record(&mut stream(), 10_000);
+    let mut core = Core::new(CoreId(0), &cfg);
+    let mut mem = MemorySystem::new(&cfg);
+    core.set_context(ExecContext::from_replay(trace.replay()));
+    for now in 0..200_000u64 {
+        core.tick(now, &mut mem);
+    }
+    assert!(
+        core.stats().commits() > 20_000,
+        "looping must outlast the window: {}",
+        core.stats().commits()
+    );
+}
+
+#[test]
+fn trace_summary_reflects_the_profile() {
+    let trace = Trace::record(&mut stream(), 100_000);
+    let s = trace.summary();
+    let p = Benchmark::Oltp.profile();
+    let load_frac = s.loads as f64 / s.total as f64;
+    // User phases dominate OLTP; the mix should be near the user mix.
+    assert!(
+        (load_frac - p.user.load_frac).abs() < 0.05,
+        "load fraction {load_frac}"
+    );
+}
