@@ -1,12 +1,11 @@
-//! Criterion micro-benchmarks for the simulator's hot components.
+//! Micro-benchmarks for the simulator's hot components.
 //!
 //! These guard the simulator's own performance (cycles simulated per
 //! wall-clock second), not the paper's results — the paper's numbers
 //! come from the `fig5`/`fig6`/`table1`/`table2`/`pab_latency` bin
-//! targets.
+//! targets. Run with `cargo bench --bench components`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
+use mmm_bench::harness::{bench, black_box};
 use mmm_core::{Pab, Pat};
 use mmm_cpu::{Core, ExecContext};
 use mmm_mem::cache::{CacheLine, Mosi, SetAssocCache};
@@ -16,44 +15,42 @@ use mmm_types::config::CacheGeometry;
 use mmm_types::{CoreId, LineAddr, SystemConfig, VcpuId, VmId};
 use mmm_workload::{Benchmark, OpStream};
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache() {
     let mut cache = SetAssocCache::new(CacheGeometry::new(512 * 1024, 4).unwrap());
     let mut i = 0u64;
-    c.bench_function("cache_insert_lookup", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(0x9E37_79B9);
-            let addr = LineAddr(i % 16_384);
-            cache.insert(CacheLine {
-                addr,
-                state: Mosi::Shared,
-                version: i,
-                coherent: true,
-            });
-            black_box(cache.lookup(addr).is_some())
-        })
+    bench("cache_insert_lookup", || {
+        i = i.wrapping_add(0x9E37_79B9);
+        let addr = LineAddr(i % 16_384);
+        cache.insert(CacheLine {
+            addr,
+            state: Mosi::Shared,
+            version: i,
+            coherent: true,
+        });
+        black_box(cache.lookup(addr).is_some());
     });
 }
 
-fn bench_opstream(c: &mut Criterion) {
+fn bench_opstream() {
     let mut s = OpStream::new(Benchmark::Oltp.profile(), VmId(0), VcpuId(0), 1);
-    c.bench_function("opstream_next_op", |b| b.iter(|| black_box(s.next_op())));
+    bench("opstream_next_op", || {
+        black_box(s.next_op());
+    });
 }
 
-fn bench_mem_load(c: &mut Criterion) {
+fn bench_mem_load() {
     let cfg = SystemConfig::default();
     let mut mem = MemorySystem::new(&cfg);
     let mut now = 0u64;
     let mut i = 0u64;
-    c.bench_function("mem_coherent_load", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(0x9E37_79B9);
-            now += 1;
-            black_box(mem.load(CoreId(0), LineAddr(i % 65_536), true, now))
-        })
+    bench("mem_coherent_load", || {
+        i = i.wrapping_add(0x9E37_79B9);
+        now += 1;
+        black_box(mem.load(CoreId(0), LineAddr(i % 65_536), true, now));
     });
 }
 
-fn bench_core_tick(c: &mut Criterion) {
+fn bench_core_tick() {
     let cfg = SystemConfig::default();
     let mut mem = MemorySystem::new(&cfg);
     let mut core = Core::new(CoreId(0), &cfg);
@@ -64,53 +61,45 @@ fn bench_core_tick(c: &mut Criterion) {
         1,
     )));
     let mut now = 0u64;
-    c.bench_function("core_tick", |b| {
-        b.iter(|| {
-            core.tick(now, &mut mem);
-            now += 1;
-        })
+    bench("core_tick", || {
+        core.tick(now, &mut mem);
+        now += 1;
     });
 }
 
-fn bench_fingerprint_channel(c: &mut Criterion) {
+fn bench_fingerprint_channel() {
     let cfg = SystemConfig::default();
     let mut ch = PairChannel::new(cfg.reunion, 0);
     let mut seq = 0u64;
-    c.bench_function("pair_channel_publish_commit", |b| {
-        b.iter(|| {
-            ch.publish(Side::Vocal, seq, seq, None);
-            ch.publish(Side::Mute, seq, seq + 3, None);
-            let t = ch.commit_time(seq, seq + 100);
-            ch.prune_below(seq);
-            seq += 1;
-            black_box(t)
-        })
+    bench("pair_channel_publish_commit", || {
+        ch.publish(Side::Vocal, seq, seq, None);
+        ch.publish(Side::Mute, seq, seq + 3, None);
+        let t = ch.commit_time(seq, seq + 100);
+        ch.prune_below(seq);
+        seq += 1;
+        black_box(t);
     });
 }
 
-fn bench_pab_check(c: &mut Criterion) {
+fn bench_pab_check() {
     let cfg = SystemConfig::default();
     let mut pab = Pab::new(cfg.pab);
     let pat = Pat::new();
     let mut mem = MemorySystem::new(&cfg);
     let mut i = 0u64;
-    c.bench_function("pab_check_store", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            // Mostly hits: 64 hot page groups.
-            let line = LineAddr((i % 64) * 8192);
-            black_box(pab.check_store(CoreId(0), line, &pat, &mut mem, i))
-        })
+    bench("pab_check_store", || {
+        i = i.wrapping_add(1);
+        // Mostly hits: 64 hot page groups.
+        let line = LineAddr((i % 64) * 8192);
+        black_box(pab.check_store(CoreId(0), line, &pat, &mut mem, i));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_opstream,
-    bench_mem_load,
-    bench_core_tick,
-    bench_fingerprint_channel,
-    bench_pab_check
-);
-criterion_main!(benches);
+fn main() {
+    bench_cache();
+    bench_opstream();
+    bench_mem_load();
+    bench_core_tick();
+    bench_fingerprint_channel();
+    bench_pab_check();
+}

@@ -1,64 +1,48 @@
-//! Criterion end-to-end benchmarks: one short run per paper
-//! configuration, measuring simulated-machine construction plus a
-//! fixed cycle budget.
+//! End-to-end benchmarks: one short run per paper configuration,
+//! measuring simulated-machine construction plus a fixed cycle budget.
 //!
 //! These keep the full-system paths (gang scheduling, DMR coupling,
 //! PAB filtering, transitions) under continuous performance watch;
-//! the paper-shaped outputs come from the bin targets.
+//! the paper-shaped outputs come from the bin targets. Run with
+//! `cargo bench --bench figures`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
+use mmm_bench::harness::{bench, black_box};
 use mmm_core::{MixedPolicy, System, Workload};
 use mmm_types::SystemConfig;
 use mmm_workload::Benchmark;
 
 const CYCLES: u64 = 20_000;
 
-fn run_config(c: &mut Criterion, label: &str, workload: Workload) {
+fn run_config(label: &str, workload: Workload) {
     let mut cfg = SystemConfig::default();
     cfg.virt.timeslice_cycles = 10_000; // exercise gang switching
-    c.bench_function(label, |b| {
-        b.iter_batched(
-            || System::new(&cfg, workload, 1).expect("valid config"),
-            |mut sys| {
-                sys.run(CYCLES);
-                sys.report(CYCLES).total_user_commits()
-            },
-            BatchSize::LargeInput,
-        )
+    bench(label, || {
+        let mut sys = System::new(&cfg, workload, 1).expect("valid config");
+        sys.run(CYCLES);
+        black_box(sys.report(CYCLES).total_user_commits());
     });
 }
 
-fn bench_figures(c: &mut Criterion) {
-    let bench = Benchmark::Apache;
-    run_config(c, "fig5_no_dmr_2x_20k_cycles", Workload::NoDmr2x(bench));
-    run_config(c, "fig5_reunion_20k_cycles", Workload::ReunionDmr(bench));
+fn main() {
+    let bench_kind = Benchmark::Apache;
+    run_config("fig5_no_dmr_2x_20k_cycles", Workload::NoDmr2x(bench_kind));
+    run_config("fig5_reunion_20k_cycles", Workload::ReunionDmr(bench_kind));
     run_config(
-        c,
         "fig6_mmm_ipc_20k_cycles",
         Workload::Consolidated {
-            bench,
+            bench: bench_kind,
             policy: MixedPolicy::MmmIpc,
         },
     );
     run_config(
-        c,
         "fig6_mmm_tp_20k_cycles",
         Workload::Consolidated {
-            bench,
+            bench: bench_kind,
             policy: MixedPolicy::MmmTp,
         },
     );
     run_config(
-        c,
         "single_os_mixed_20k_cycles",
-        Workload::SingleOsMixed(bench),
+        Workload::SingleOsMixed(bench_kind),
     );
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_figures
-}
-criterion_main!(benches);

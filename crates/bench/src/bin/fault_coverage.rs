@@ -9,6 +9,7 @@
 //! four orders of magnitude of fault rate on the MMM-TP consolidated
 //! server.
 
+use mmm_bench::export::{json_mode, traced_run, JsonExport};
 use mmm_bench::{banner, experiment_sized};
 use mmm_core::report::print_table;
 use mmm_core::{MixedPolicy, Workload};
@@ -17,9 +18,13 @@ use mmm_workload::Benchmark;
 fn main() {
     let mut e = experiment_sized(500_000, 3_000_000);
     e.cfg.virt.timeslice_cycles = 300_000;
-    banner("Fault coverage (extension)", &e);
+    let json = json_mode();
+    if !json {
+        banner("Fault coverage (extension)", &e);
+    }
     let bench = Benchmark::Pgoltp;
 
+    let mut export = JsonExport::new("fault_coverage");
     let mut rows = Vec::new();
     for rate in [1e-7, 1e-6, 1e-5, 5e-5] {
         let mut er = e.clone();
@@ -30,6 +35,9 @@ fn main() {
                 policy: MixedPolicy::MmmTp,
             })
             .expect("fault run");
+        if json {
+            export.add(&run);
+        }
         // Sum outcomes across seeds.
         let mut injected = 0u64;
         let mut dmr = 0u64;
@@ -60,6 +68,20 @@ fn main() {
             escapes.to_string(),
             format!("{rel_tp:.3}"),
         ]);
+    }
+    if json {
+        let mut trace_cfg = e.cfg.clone();
+        trace_cfg.virt.timeslice_cycles = 30_000;
+        export.finish(&traced_run(
+            &trace_cfg,
+            Workload::Consolidated {
+                bench,
+                policy: MixedPolicy::MmmTp,
+            },
+            1,
+            Some(1e-5),
+        ));
+        return;
     }
     print_table(
         "Fault outcomes on MMM-TP (pgoltp). 'pending' = privreg arms awaiting the next \

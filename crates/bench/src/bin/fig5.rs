@@ -13,8 +13,10 @@
 //! `--diagnostics` prints the §5.1 breakdown behind the figure:
 //! window-full cycles, SI fetch stalls (15–46% of cycles under
 //! Reunion), and C2C transfer growth (+20–50%; pmake from a tiny
-//! base).
+//! base). `--json` emits JSONL reports and a Perfetto trace instead of
+//! the tables (see [`mmm_bench::export`]).
 
+use mmm_bench::export::{json_mode, traced_run, JsonExport};
 use mmm_bench::{banner, experiment_sized, norm};
 use mmm_core::report::{fmt_ci, print_table};
 use mmm_core::{RunResult, Workload};
@@ -22,9 +24,13 @@ use mmm_workload::Benchmark;
 
 fn main() {
     let diagnostics = std::env::args().any(|a| a == "--diagnostics");
+    let json = json_mode();
     let e = experiment_sized(2_000_000, 4_000_000);
-    banner("Figure 5 (DMR overhead)", &e);
+    if !json {
+        banner("Figure 5 (DMR overhead)", &e);
+    }
 
+    let mut export = JsonExport::new("fig5");
     let mut rows_a = Vec::new();
     let mut rows_b = Vec::new();
     let mut rows_d = Vec::new();
@@ -36,6 +42,11 @@ fn main() {
                 Workload::ReunionDmr(bench),
             ])
             .expect("fig5 runs");
+        if json {
+            for run in &runs {
+                export.add(run);
+            }
+        }
         let (r2x, rno, rre) = (&runs[0], &runs[1], &runs[2]);
         let base_ipc = r2x.avg_user_ipc().0;
         let base_tp = r2x.throughput().0;
@@ -81,6 +92,15 @@ fn main() {
         }
     }
 
+    if json {
+        export.finish(&traced_run(
+            &e.cfg,
+            Workload::ReunionDmr(Benchmark::Oltp),
+            1,
+            None,
+        ));
+        return;
+    }
     print_table(
         "Figure 5(a): normalized per-thread user IPC (paper: No DMR 1.08-1.15, Reunion 0.52-0.78)",
         &["bench", "No DMR 2X", "No DMR", "Reunion"],

@@ -15,6 +15,7 @@
 //! **6(a)** prints per-thread user IPC per guest, normalized to the
 //! same guest under `DMR Base`; **6(b)** prints throughput similarly.
 
+use mmm_bench::export::{json_mode, traced_run, JsonExport};
 use mmm_bench::{banner, experiment_sized, norm};
 use mmm_core::report::{fmt_ci, print_table};
 use mmm_core::{MixedPolicy, RunResult, Workload};
@@ -52,8 +53,12 @@ fn main() {
     // the measured window cover several slice pairs.
     let mut e = experiment_sized(1_500_000, 6_000_000);
     e.cfg.virt.timeslice_cycles = 1_500_000;
-    banner("Figure 6 (mixed-mode consolidated server)", &e);
+    let json = json_mode();
+    if !json {
+        banner("Figure 6 (mixed-mode consolidated server)", &e);
+    }
 
+    let mut export = JsonExport::new("fig6");
     let mut rows_a = Vec::new();
     let mut rows_b = Vec::new();
     for bench in Benchmark::all() {
@@ -65,6 +70,11 @@ fn main() {
                 mk(MixedPolicy::MmmTp),
             ])
             .expect("fig6 runs");
+        if json {
+            for run in &runs {
+                export.add(run);
+            }
+        }
         let (base, ipc, tp) = (&runs[0], &runs[1], &runs[2]);
 
         // 6(a): per-thread IPC per guest, normalized to DMR Base.
@@ -107,6 +117,22 @@ fn main() {
         ]);
     }
 
+    if json {
+        // A short timeslice makes gang switches (and their mode
+        // transitions) visible inside the short traced horizon.
+        let mut trace_cfg = e.cfg.clone();
+        trace_cfg.virt.timeslice_cycles = 30_000;
+        export.finish(&traced_run(
+            &trace_cfg,
+            Workload::Consolidated {
+                bench: Benchmark::Oltp,
+                policy: MixedPolicy::MmmTp,
+            },
+            1,
+            None,
+        ));
+        return;
+    }
     print_table(
         "Figure 6(a): per-thread user IPC, reliable / performance guest, normalized to DMR Base \
          (paper: MMM-IPC perf +25-85%, MMM-TP perf +24-67%, reliable ~1.0)",

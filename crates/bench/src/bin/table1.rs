@@ -8,6 +8,7 @@
 //! Paper values: Enter DMR ≈ 2.2–2.4 k cycles for all benchmarks;
 //! Leave DMR ≈ 9.9–10.4 k cycles (the 8 k-cycle flush walk dominates).
 
+use mmm_bench::export::{json_mode, traced_run, JsonExport};
 use mmm_bench::{banner, experiment_sized};
 use mmm_core::report::{fmt_cycles, print_table};
 use mmm_core::{MixedPolicy, Workload};
@@ -18,7 +19,10 @@ fn main() {
     // Shorter timeslices gather more switch samples per simulated
     // cycle without changing per-switch cost.
     e.cfg.virt.timeslice_cycles = 150_000;
-    banner("Table 1 (mode-switch overheads, MMM-TP)", &e);
+    let json = json_mode();
+    if !json {
+        banner("Table 1 (mode-switch overheads, MMM-TP)", &e);
+    }
 
     let workloads: Vec<Workload> = Benchmark::all()
         .into_iter()
@@ -28,6 +32,24 @@ fn main() {
         })
         .collect();
     let runs = e.run_many(&workloads).expect("table1 runs");
+    if json {
+        let mut export = JsonExport::new("table1");
+        for run in &runs {
+            export.add(run);
+        }
+        let mut trace_cfg = e.cfg.clone();
+        trace_cfg.virt.timeslice_cycles = 30_000;
+        export.finish(&traced_run(
+            &trace_cfg,
+            Workload::Consolidated {
+                bench: Benchmark::Pmake,
+                policy: MixedPolicy::MmmTp,
+            },
+            1,
+            None,
+        ));
+        return;
+    }
 
     let mut rows = Vec::new();
     for run in &runs {

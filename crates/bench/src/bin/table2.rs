@@ -14,6 +14,7 @@
 //! expected overhead of single-OS mixed-mode operation — ~8% for
 //! Apache, <5% for the rest.
 
+use mmm_bench::export::{json_mode, traced_run, JsonExport};
 use mmm_bench::{banner, experiment_sized};
 use mmm_core::report::{fmt_cycles, print_table};
 use mmm_core::Workload;
@@ -33,10 +34,28 @@ fn main() {
     // Long phases (pgbench: ~700k-cycle round trips) need long runs
     // for unbiased phase sampling.
     let e = experiment_sized(1_500_000, 6_000_000);
-    banner("Table 2 (single-OS switch frequency, baseline non-DMR)", &e);
+    let json = json_mode();
+    if !json {
+        banner("Table 2 (single-OS switch frequency, baseline non-DMR)", &e);
+    }
 
     let workloads: Vec<Workload> = Benchmark::all().into_iter().map(Workload::NoDmr).collect();
     let runs = e.run_many(&workloads).expect("table2 runs");
+    if json {
+        let mut export = JsonExport::new("table2");
+        for run in &runs {
+            export.add(run);
+        }
+        // The trace shows the system Table 2 projects: per-syscall
+        // Enter/Leave-DMR on the single-OS machine.
+        export.finish(&traced_run(
+            &e.cfg,
+            Workload::SingleOsMixed(Benchmark::Apache),
+            1,
+            None,
+        ));
+        return;
+    }
 
     let mut rows = Vec::new();
     for (run, (pname, puser, pos)) in runs.iter().zip(PAPER) {

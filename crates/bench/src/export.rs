@@ -1,0 +1,122 @@
+//! Machine-readable run exports (the harness bins' `--json` mode).
+//!
+//! With `--json`, a bin suppresses its human-readable tables and
+//! instead:
+//!
+//! * prints one JSON object per `(workload, seed)` report to stdout
+//!   (JSONL — pipe into `scripts/validate_trace.py` or any analysis
+//!   tool);
+//! * writes the same lines to `results/<bin>.jsonl`;
+//! * performs one short, deterministic traced run and writes
+//!   `results/<bin>.trace.json` in Chrome trace-event format, viewable
+//!   at <https://ui.perfetto.dev> as per-core mode/event timelines.
+
+use std::fs;
+use std::path::Path;
+
+use mmm_core::{RunResult, System, Workload};
+use mmm_trace::{chrome_trace, Tracer};
+use mmm_types::SystemConfig;
+
+/// True when the process was invoked with `--json`.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Ring capacity for traced runs: generously sized for the scheduling
+/// and transition records of a short run; high-frequency filler (SI
+/// stalls) overwrites oldest-first if it ever fills.
+pub const TRACE_RING: usize = 1 << 16;
+
+/// Cycle horizon of the deterministic traced run behind
+/// `results/<bin>.trace.json`.
+pub const TRACE_CYCLES: u64 = 150_000;
+
+/// Runs `workload` from reset for [`TRACE_CYCLES`] cycles with tracing
+/// on and returns the Chrome trace-event document. Deterministic for a
+/// fixed `(cfg, workload, seed, fault_rate)`.
+pub fn traced_run(
+    cfg: &SystemConfig,
+    workload: Workload,
+    seed: u64,
+    fault_rate: Option<f64>,
+) -> String {
+    let mut sys = System::new(cfg, workload, seed).expect("traced run builds");
+    if let Some(rate) = fault_rate {
+        sys.enable_fault_injection(rate, seed ^ 0xF417);
+    }
+    sys.attach_tracer(Tracer::ring(TRACE_RING));
+    sys.run(TRACE_CYCLES);
+    chrome_trace(&sys.tracer().snapshot(), cfg.cores as usize, sys.now())
+}
+
+/// Collects JSONL report lines and writes a bin's export artifacts.
+pub struct JsonExport {
+    name: &'static str,
+    lines: Vec<String>,
+}
+
+impl JsonExport {
+    /// An empty export for the named bin.
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Adds every per-seed report of a run as one JSONL line each.
+    pub fn add(&mut self, run: &RunResult) {
+        for r in &run.reports {
+            self.lines.push(r.to_json());
+        }
+    }
+
+    /// Prints the collected JSONL to stdout and writes
+    /// `results/<bin>.jsonl` plus `results/<bin>.trace.json` (pass a
+    /// document from [`traced_run`]). File-system errors are reported
+    /// on stderr but never fail the run — stdout already carries the
+    /// data.
+    pub fn finish(self, trace_json: &str) {
+        for line in &self.lines {
+            println!("{line}");
+        }
+        let dir = Path::new("results");
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("results/: {e}");
+            return;
+        }
+        let jsonl_path = dir.join(format!("{}.jsonl", self.name));
+        let trace_path = dir.join(format!("{}.trace.json", self.name));
+        let jsonl = self.lines.join("\n") + "\n";
+        if let Err(e) = fs::write(&jsonl_path, jsonl) {
+            eprintln!("{}: {e}", jsonl_path.display());
+        }
+        if let Err(e) = fs::write(&trace_path, trace_json) {
+            eprintln!("{}: {e}", trace_path.display());
+        }
+        eprintln!(
+            "wrote {} and {}",
+            jsonl_path.display(),
+            trace_path.display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_workload::Benchmark;
+
+    #[test]
+    fn traced_run_is_deterministic_and_perfetto_shaped() {
+        let cfg = SystemConfig::default();
+        let w = Workload::ReunionDmr(Benchmark::Apache);
+        let a = traced_run(&cfg, w, 1, None);
+        let b = traced_run(&cfg, w, 1, None);
+        assert_eq!(a, b, "same seed must produce an identical trace");
+        assert!(a.starts_with("{\"traceEvents\":["));
+        assert!(a.contains("\"dmr-vocal V0\""), "mode slices present");
+        assert!(a.ends_with("\"displayTimeUnit\":\"ns\"}"));
+    }
+}

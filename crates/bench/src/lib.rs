@@ -10,6 +10,9 @@
 
 use mmm_core::{Experiment, RunResult};
 
+pub mod export;
+pub mod harness;
+
 /// Builds the harness experiment template: `MMM_*` env overrides on
 /// top of the given defaults (sized per figure so cache state reaches
 /// capacity equilibrium — the paper ran 100 M cycles per run).

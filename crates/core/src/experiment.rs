@@ -14,7 +14,6 @@
 //!   the paper used 100 M on a machine-room simulator);
 //! * `MMM_SEEDS` — number of seeds (default 3).
 
-use crossbeam::thread;
 use mmm_types::stats::mean_ci95;
 use mmm_types::{Result, SystemConfig};
 
@@ -114,20 +113,19 @@ impl Experiment {
         let mut results: Vec<Vec<Option<SystemReport>>> =
             vec![vec![None; self.seeds.len()]; workloads.len()];
         for chunk in jobs.chunks(max_threads) {
-            let outputs = thread::scope(|scope| {
+            let outputs = std::thread::scope(|scope| {
                 let handles: Vec<_> = chunk
                     .iter()
                     .map(|&(i, w, s)| {
                         let me = self.clone();
-                        scope.spawn(move |_| (i, s, me.run_one(w, s)))
+                        scope.spawn(move || (i, s, me.run_one(w, s)))
                     })
                     .collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("experiment thread panicked"))
                     .collect::<Vec<_>>()
-            })
-            .expect("scope");
+            });
             for (i, s, report) in outputs {
                 let seed_idx = self.seeds.iter().position(|&x| x == s).expect("seed known");
                 results[i][seed_idx] = Some(report?);

@@ -38,6 +38,8 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
         for (i, cell) in row.iter().enumerate() {
             if i < widths.len() {
                 widths[i] = widths[i].max(cell.len());
+            } else {
+                widths.push(cell.len());
             }
         }
     }
@@ -81,6 +83,17 @@ mod tests {
         assert_eq!(fmt_cycles(10_400.0), "10.4k");
         assert_eq!(fmt_cycles(1_200_000.0), "1.2M");
         assert_eq!(fmt_cycles(42.0), "42");
+    }
+
+    #[test]
+    fn rows_wider_than_header_keep_all_cells() {
+        let s = render_table(
+            "W",
+            &["a"],
+            &[vec!["x".into(), "extra-cell".into(), "tail".into()]],
+        );
+        assert!(s.contains("extra-cell"), "extra cells must render: {s}");
+        assert!(s.contains("tail"), "all trailing cells must render: {s}");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use mmm_cpu::{Boundary, Core, CoreStats, ExecContext, PhaseTracker};
 use mmm_mem::request::store_token;
 use mmm_mem::{MemStats, MemorySystem};
 use mmm_reunion::{DmrPair, PairStats};
+use mmm_trace::{Event, Json, MetricsRegistry, SchedAction, Tracer, TransitionKind};
 use mmm_types::ids::{PAGE_BYTES, PAGE_SHIFT};
 use mmm_types::{CoreId, Cycle, PageAddr, Result, SystemConfig, VcpuId, VmId};
 use mmm_workload::layout::{PAT_BASE, SCRATCHPAD_BASE};
@@ -171,6 +172,121 @@ impl SystemReport {
         }
         1.0 - self.cores.commits_unprotected as f64 / commits as f64
     }
+
+    /// Exports every counter, distribution, and derived quantity into
+    /// a flat [`MetricsRegistry`] (`core.*`, `mem.*`, `reunion.*`,
+    /// `transition.*`, `fault.*`, `pab.*`, `phase.*`). Registries from
+    /// several runs can be [`MetricsRegistry::merge`]d; the derived
+    /// gauges are per-run and overwrite on merge.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.count("run.cycles", self.cycles);
+
+        let c = &self.cores;
+        m.count("core.active_cycles", c.active_cycles);
+        m.count("core.os_cycles", c.os_cycles);
+        m.count("core.commits_user", c.commits_user);
+        m.count("core.commits_os", c.commits_os);
+        m.count("core.commits_unprotected", c.commits_unprotected);
+        m.count("core.window_full_cycles", c.window_full_cycles);
+        m.count("core.lsq_full_cycles", c.lsq_full_cycles);
+        m.count("core.si_stall_cycles", c.si_stall_cycles);
+        m.count("core.fetch_stall_cycles", c.fetch_stall_cycles);
+        m.count("core.mispredict_stall_cycles", c.mispredict_stall_cycles);
+        m.count("core.check_wait_cycles", c.check_wait_cycles);
+        m.count("core.loads", c.loads);
+        m.count("core.stores", c.stores);
+        m.count("core.serializing", c.serializing);
+        m.count("core.mispredicts", c.mispredicts);
+        m.count("core.squashes", c.squashes);
+
+        let mm = &self.mem;
+        m.count("mem.l1i_hits", mm.l1i_hits);
+        m.count("mem.l1i_misses", mm.l1i_misses);
+        m.count("mem.l1d_hits", mm.l1d_hits);
+        m.count("mem.l1d_misses", mm.l1d_misses);
+        m.count("mem.l2_hits", mm.l2_hits);
+        m.count("mem.l2_misses", mm.l2_misses);
+        m.count("mem.l3_hits", mm.l3_hits);
+        m.count("mem.c2c_transfers", mm.c2c_transfers);
+        m.count("mem.dram_reads", mm.dram_reads);
+        m.count("mem.upgrades", mm.upgrades);
+        m.count("mem.invalidations", mm.invalidations);
+        m.count("mem.incoherent_fills", mm.incoherent_fills);
+        m.count("mem.stale_mute_hits", mm.stale_mute_hits);
+        m.count("mem.writebacks", mm.writebacks);
+        m.count("mem.flushes", mm.flushes);
+        m.count("mem.flush_cycles", mm.flush_cycles);
+        m.count("mem.bank_queue_cycles", mm.bank_queue_cycles);
+
+        let p = &self.pairs;
+        m.count("reunion.ops_compared", p.ops_compared);
+        m.count("reunion.input_incoherence", p.input_incoherence);
+        m.count("reunion.faults_detected", p.faults_detected);
+        m.count("reunion.recovery_cycles", p.recovery_cycles);
+
+        let f = &self.faults;
+        m.count("fault.injected", f.injected);
+        m.count("fault.detected_by_dmr", f.detected_by_dmr);
+        m.count("fault.wild_stores_blocked", f.wild_stores_blocked);
+        m.count("fault.wild_stores_corrupting", f.wild_stores_corrupting);
+        m.count("fault.privreg_caught_at_entry", f.privreg_caught_at_entry);
+        m.count("fault.silent_perf_faults", f.silent_perf_faults);
+        m.count("fault.on_idle_core", f.on_idle_core);
+
+        let b = &self.pab;
+        m.count("pab.lookups", b.lookups);
+        m.count("pab.hits", b.hits);
+        m.count("pab.misses", b.misses);
+        m.count("pab.violations", b.violations);
+        m.count("pab.demap_invalidations", b.demap_invalidations);
+
+        let t = &self.transitions;
+        m.merge_stat("transition.enter_dmr", &t.enter);
+        m.merge_stat("transition.leave_dmr", &t.leave);
+        m.merge_stat("transition.dmr_switch", &t.dmr_switch);
+        m.merge_stat("transition.perf_switch", &t.perf_switch);
+
+        m.merge_histogram("phase.user_cycles", &self.phases.user);
+        m.merge_histogram("phase.os_cycles", &self.phases.os);
+
+        m.gauge("run.avg_user_ipc", self.avg_user_ipc());
+        m.gauge("run.dmr_coverage", self.dmr_coverage());
+        m.gauge("run.si_stall_fraction", self.si_stall_fraction());
+        m.gauge("run.window_full_fraction", self.window_full_fraction());
+        m.gauge("run.c2c_per_kilo_instr", self.c2c_per_kilo_instr());
+        m.gauge("phase.user_mean_cycles", self.phase_user_mean);
+        m.gauge("phase.os_mean_cycles", self.phase_os_mean);
+        m
+    }
+
+    /// The whole report as one JSON object (one JSONL line), stable
+    /// across runs with the same seed: identity fields, per-VCPU
+    /// commits, and the flat metrics registry.
+    pub fn to_json(&self) -> String {
+        let vcpus = Json::Arr(
+            self.vcpus
+                .iter()
+                .map(|v| {
+                    Json::obj([
+                        ("vcpu", Json::U64(v.vcpu.0 as u64)),
+                        ("vm", Json::U64(v.vm.0 as u64)),
+                        ("user_commits", Json::U64(v.user_commits)),
+                        ("os_commits", Json::U64(v.os_commits)),
+                        ("unprotected_commits", Json::U64(v.unprotected_commits)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("config", Json::str(self.config)),
+            ("benchmark", Json::str(self.benchmark)),
+            ("cycles", Json::U64(self.cycles)),
+            ("vcpus", vcpus),
+            ("metrics", self.metrics().to_json()),
+        ])
+        .render()
+    }
 }
 
 /// The machine.
@@ -216,6 +332,9 @@ pub struct System {
     retired_pair_stats: PairStats,
     /// Phase trackers harvested from cores at reset/report.
     fault_token_seq: u64,
+    /// Event tracer handle (off by default; clones are distributed to
+    /// cores and live pairs by [`System::attach_tracer`]).
+    tracer: Tracer,
 }
 
 impl System {
@@ -280,6 +399,7 @@ impl System {
             overcommit_order: Vec::new(),
             retired_pair_stats: PairStats::default(),
             fault_token_seq: 1 << 61,
+            tracer: Tracer::off(),
         };
         sys.prewarm_scratchpad();
         sys.install_initial_assignments();
@@ -307,6 +427,49 @@ impl System {
     /// cycle.
     pub fn enable_fault_injection(&mut self, rate: f64, seed: u64) {
         self.injector = Some(FaultInjector::new(rate, self.cfg.cores, seed));
+    }
+
+    /// Attaches an event tracer: clones of the handle are distributed
+    /// to every core and every live DMR pair, and the current VCPU
+    /// placement is re-emitted as install decisions so per-core
+    /// timelines open correctly mid-run. Tracing is purely
+    /// observational — it never changes simulated timing.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        for c in &mut self.cores {
+            c.set_tracer(self.tracer.clone());
+        }
+        for pair in self.pairs.iter_mut().flatten() {
+            pair.set_tracer(self.tracer.clone());
+        }
+        let now = self.cycle;
+        for v in &self.vcpus {
+            match v.assignment {
+                Assignment::Parked => {}
+                Assignment::Solo(core) => {
+                    self.tracer.emit(now, || Event::SchedDecision {
+                        action: SchedAction::InstallSolo,
+                        core,
+                        partner: None,
+                        vcpu: Some(v.id),
+                    });
+                }
+                Assignment::Dmr { vocal, mute } => {
+                    self.tracer.emit(now, || Event::SchedDecision {
+                        action: SchedAction::InstallDmr,
+                        core: vocal,
+                        partner: Some(mute),
+                        vcpu: Some(v.id),
+                    });
+                }
+            }
+        }
+    }
+
+    /// The attached tracer (off unless [`System::attach_tracer`] was
+    /// called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Current cycle.
@@ -362,6 +525,12 @@ impl System {
         c.stall_until(ready_at);
         let i = self.vcpu_index(vcpu);
         self.vcpus[i].assignment = Assignment::Solo(core);
+        self.tracer.emit(ready_at, || Event::SchedDecision {
+            action: SchedAction::InstallSolo,
+            core,
+            partner: None,
+            vcpu: Some(vcpu),
+        });
     }
 
     /// Installs a VCPU on a DMR pair slot. The mute's incoherent
@@ -376,7 +545,8 @@ impl System {
         let mute = &mut right[0];
         vocal.set_store_filter(None);
         mute.set_store_filter(None);
-        let pair = DmrPair::couple(vocal, mute, ctx, &self.cfg.reunion);
+        let mut pair = DmrPair::couple(vocal, mute, ctx, &self.cfg.reunion);
+        pair.set_tracer(self.tracer.clone());
         vocal.stall_until(ready_at);
         mute.stall_until(ready_at);
         self.pairs[slot] = Some(pair);
@@ -385,6 +555,12 @@ impl System {
             vocal: CoreId(vc as u16),
             mute: CoreId(mc as u16),
         };
+        self.tracer.emit(ready_at, || Event::SchedDecision {
+            action: SchedAction::InstallDmr,
+            core: CoreId(vc as u16),
+            partner: Some(CoreId(mc as u16)),
+            vcpu: Some(vcpu),
+        });
     }
 
     /// Removes the VCPU running on a pair slot, parking its context.
@@ -407,6 +583,12 @@ impl System {
             .map(|v| v.id)
             .expect("pair slot maps to a vcpu");
         self.park_context(vcpu, ctx);
+        self.tracer.emit(now, || Event::SchedDecision {
+            action: SchedAction::EvictDmr,
+            core: CoreId(vc as u16),
+            partner: Some(CoreId(mc as u16)),
+            vcpu: Some(vcpu),
+        });
         vcpu
     }
 
@@ -423,6 +605,12 @@ impl System {
             .map(|v| v.id)
             .expect("solo core maps to a vcpu");
         self.park_context(vcpu, ctx);
+        self.tracer.emit(now, || Event::SchedDecision {
+            action: SchedAction::EvictSolo,
+            core,
+            partner: None,
+            vcpu: Some(vcpu),
+        });
         vcpu
     }
 
@@ -475,6 +663,12 @@ impl System {
     fn overcommit_switch(&mut self, now: Cycle) {
         let n_cores = self.cfg.cores as usize;
         let pairs = self.cfg.pairs() as usize;
+        self.tracer.emit(now, || Event::SchedDecision {
+            action: SchedAction::OvercommitSwitch,
+            core: CoreId(0),
+            partner: None,
+            vcpu: None,
+        });
         // Previously paused VCPUs get priority.
         let old_order = std::mem::take(&mut self.overcommit_order);
         let parked_first: Vec<VcpuId> = old_order
@@ -601,6 +795,11 @@ impl System {
                     let ready = self
                         .engine
                         .restore_solo(&mut self.mem, c, v, busy[c.index()]);
+                    self.tracer.emit(now, || Event::ModeTransition {
+                        core: c,
+                        kind: TransitionKind::PerfSwitch,
+                        done: ready,
+                    });
                     self.install_solo(v, c, true, ready);
                 }
                 Assignment::Dmr { vocal, mute } => {
@@ -608,7 +807,12 @@ impl System {
                     let ready = self
                         .engine
                         .restore_dmr(&mut self.mem, vocal, mute, v, start);
-                    self.check_privreg_on_entry(v);
+                    self.tracer.emit(now, || Event::ModeTransition {
+                        core: vocal,
+                        kind: TransitionKind::DmrSwitch,
+                        done: ready,
+                    });
+                    self.check_privreg_on_entry(v, vocal);
                     self.install_dmr(v, vocal.index() / 2, ready);
                 }
             }
@@ -620,6 +824,12 @@ impl System {
     fn gang_switch(&mut self, policy: MixedPolicy, now: Cycle) {
         let pairs = self.cfg.pairs() as usize;
         let incoming_parity = 1 - self.slice_parity;
+        self.tracer.emit(now, || Event::SchedDecision {
+            action: SchedAction::GangSwitch,
+            core: CoreId(0),
+            partner: None,
+            vcpu: None,
+        });
         for p in 0..pairs {
             let vocal = CoreId(2 * p as u16);
             let mute = CoreId(2 * p as u16 + 1);
@@ -640,7 +850,12 @@ impl System {
                             perf_vcpu,
                             now,
                         );
-                        self.check_privreg_on_entry(perf_vcpu);
+                        self.tracer.emit(now, || Event::ModeTransition {
+                            core: vocal,
+                            kind: TransitionKind::DmrSwitch,
+                            done: t,
+                        });
+                        self.check_privreg_on_entry(perf_vcpu, vocal);
                         self.install_dmr(perf_vcpu, p, t);
                         continue;
                     }
@@ -654,6 +869,11 @@ impl System {
                             false,
                             now,
                         );
+                        self.tracer.emit(now, || Event::ModeTransition {
+                            core: vocal,
+                            kind: TransitionKind::LeaveDmr,
+                            done: t,
+                        });
                         self.install_solo(perf_vcpu, vocal, true, t);
                         continue;
                     }
@@ -667,6 +887,11 @@ impl System {
                             true,
                             now,
                         );
+                        self.tracer.emit(now, || Event::ModeTransition {
+                            core: vocal,
+                            kind: TransitionKind::LeaveDmr,
+                            done: t,
+                        });
                         self.install_solo(perf_vcpu, vocal, true, t);
                         self.install_solo(perf2_vcpu, mute, true, t);
                         continue;
@@ -679,43 +904,61 @@ impl System {
                         let out = self.evict_dmr(p, now);
                         debug_assert_eq!(out, perf_vcpu);
 
-                        self.engine.dmr_switch(
+                        let t = self.engine.dmr_switch(
                             &mut self.mem,
                             vocal,
                             mute,
                             Some(perf_vcpu),
                             rel_vcpu,
                             now,
-                        )
+                        );
+                        self.tracer.emit(now, || Event::ModeTransition {
+                            core: vocal,
+                            kind: TransitionKind::DmrSwitch,
+                            done: t,
+                        });
+                        t
                     }
                     MixedPolicy::MmmIpc => {
                         let out = self.evict_solo(vocal, now);
                         debug_assert_eq!(out, perf_vcpu);
-                        self.engine.enter_dmr(
+                        let t = self.engine.enter_dmr(
                             &mut self.mem,
                             vocal,
                             mute,
                             &[(vocal, perf_vcpu)],
                             rel_vcpu,
                             now,
-                        )
+                        );
+                        self.tracer.emit(now, || Event::ModeTransition {
+                            core: vocal,
+                            kind: TransitionKind::EnterDmr,
+                            done: t,
+                        });
+                        t
                     }
                     MixedPolicy::MmmTp => {
                         let o1 = self.evict_solo(vocal, now);
                         let o2 = self.evict_solo(mute, now);
                         debug_assert_eq!((o1, o2), (perf_vcpu, perf2_vcpu));
-                        self.engine.enter_dmr(
+                        let t = self.engine.enter_dmr(
                             &mut self.mem,
                             vocal,
                             mute,
                             &[(vocal, perf_vcpu), (mute, perf2_vcpu)],
                             rel_vcpu,
                             now,
-                        )
+                        );
+                        self.tracer.emit(now, || Event::ModeTransition {
+                            core: vocal,
+                            kind: TransitionKind::EnterDmr,
+                            done: t,
+                        });
+                        t
                     }
                 }
             };
-            self.check_privreg_on_entry(rel_vcpu);
+            self.check_privreg_on_entry(rel_vcpu, vocal);
             self.install_dmr(rel_vcpu, p, ready_at);
         }
         self.slice_parity = incoming_parity;
@@ -723,13 +966,19 @@ impl System {
 
     /// Enter-DMR verification: a privileged-register corruption armed
     /// while the VCPU ran unprotected is caught here (paper §3.4.3).
-    fn check_privreg_on_entry(&mut self, vcpu: VcpuId) {
+    /// `vocal` is the pair's vocal core, for event attribution.
+    fn check_privreg_on_entry(&mut self, vcpu: VcpuId, vocal: CoreId) {
         let i = self.vcpu_index(vcpu);
         if self.privreg_armed[i] {
             self.privreg_armed[i] = false;
             if let Some(inj) = self.injector.as_mut() {
                 inj.stats.privreg_caught_at_entry += 1;
             }
+            self.tracer.emit(self.cycle, || Event::FaultMasked {
+                core: vocal,
+                site: "priv_reg",
+                reason: "enter_dmr_verification",
+            });
         }
     }
 
@@ -758,7 +1007,18 @@ impl System {
                         vcpu,
                         now,
                     );
-                    self.check_privreg_on_entry(vcpu);
+                    self.tracer.emit(now, || Event::SchedDecision {
+                        action: SchedAction::SingleOsPoll,
+                        core: vocal,
+                        partner: Some(mute),
+                        vcpu: Some(vcpu),
+                    });
+                    self.tracer.emit(now, || Event::ModeTransition {
+                        core: vocal,
+                        kind: TransitionKind::EnterDmr,
+                        done: t,
+                    });
+                    self.check_privreg_on_entry(vcpu, vocal);
                     self.install_dmr(vcpu, p, t);
                     self.cores[vocal.index()].set_traps(false, true);
                     self.cores[mute.index()].set_traps(false, true);
@@ -787,6 +1047,17 @@ impl System {
                         false,
                         now,
                     );
+                    self.tracer.emit(now, || Event::SchedDecision {
+                        action: SchedAction::SingleOsPoll,
+                        core: vocal,
+                        partner: Some(mute),
+                        vcpu: Some(vcpu),
+                    });
+                    self.tracer.emit(now, || Event::ModeTransition {
+                        core: vocal,
+                        kind: TransitionKind::LeaveDmr,
+                        done: t,
+                    });
                     self.install_solo(vcpu, vocal, true, t);
                     self.cores[vocal.index()].set_traps(true, false);
                     self.cores[mute.index()].set_traps(false, false);
@@ -798,6 +1069,9 @@ impl System {
     // ----- fault application ---------------------------------------------------
 
     fn apply_fault(&mut self, core: CoreId, site: FaultSite, now: Cycle) {
+        let label = site_label(site);
+        self.tracer
+            .emit(now, || Event::FaultInjected { core, site: label });
         // DMR cores: any fault surfaces as a fingerprint mismatch.
         let in_pair = self
             .pairs
@@ -809,12 +1083,22 @@ impl System {
             if let Some(inj) = self.injector.as_mut() {
                 inj.stats.detected_by_dmr += 1;
             }
+            self.tracer.emit(now, || Event::FaultMasked {
+                core,
+                site: label,
+                reason: "dmr_detected",
+            });
             return;
         }
         if !self.cores[core.index()].is_busy() {
             if let Some(inj) = self.injector.as_mut() {
                 inj.stats.on_idle_core += 1;
             }
+            self.tracer.emit(now, || Event::FaultMasked {
+                core,
+                site: label,
+                reason: "idle",
+            });
             return;
         }
         // Performance-mode core.
@@ -865,6 +1149,13 @@ impl System {
                 match verdict {
                     crate::pab::PabVerdict::Violation => {
                         inj.stats.wild_stores_blocked += 1;
+                        self.tracer
+                            .emit(now, || Event::PabDeny { core, page: page.0 });
+                        self.tracer.emit(now, || Event::FaultMasked {
+                            core,
+                            site: label,
+                            reason: "pab_blocked",
+                        });
                     }
                     crate::pab::PabVerdict::Allowed => {
                         inj.stats.wild_stores_corrupting += 1;
@@ -1028,6 +1319,15 @@ impl System {
     /// Read access to the memory system (tests).
     pub fn mem(&self) -> &MemorySystem {
         &self.mem
+    }
+}
+
+/// Stable export label for a fault site.
+fn site_label(site: FaultSite) -> &'static str {
+    match site {
+        FaultSite::CoreLogic => "core_logic",
+        FaultSite::TlbPermission => "tlb_permission",
+        FaultSite::PrivReg => "priv_reg",
     }
 }
 

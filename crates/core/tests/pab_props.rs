@@ -3,12 +3,14 @@
 //! Whatever interleaving of PAT updates, store checks, and TLB demaps
 //! occurs, the PAB's verdict must always equal the PAT's current
 //! content — the PAB is a pure (demap-coherent) cache of the table.
-
-use proptest::prelude::*;
+//!
+//! Deterministic property testing: interleavings are generated from a
+//! fixed-seed [`DetRng`], so failures reproduce exactly (the build is
+//! offline; no proptest).
 
 use mmm_core::{Pab, PabVerdict, Pat};
 use mmm_mem::MemorySystem;
-use mmm_types::{CoreId, PageAddr, SystemConfig};
+use mmm_types::{CoreId, DetRng, PageAddr, SystemConfig};
 
 #[derive(Clone, Debug)]
 enum PatOp {
@@ -20,19 +22,24 @@ enum PatOp {
     Check { page: u16 },
 }
 
-fn op_strategy() -> impl Strategy<Value = PatOp> {
-    prop_oneof![
-        (0..2048u16, any::<bool>())
-            .prop_map(|(page, reliable)| PatOp::SetAndDemap { page, reliable }),
-        (0..2048u16).prop_map(|page| PatOp::Check { page }),
-    ]
+fn random_op(rng: &mut DetRng) -> PatOp {
+    let page = rng.below(2048) as u16;
+    if rng.chance(0.5) {
+        PatOp::SetAndDemap {
+            page,
+            reliable: rng.chance(0.5),
+        }
+    } else {
+        PatOp::Check { page }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn pab_verdicts_always_match_the_pat(ops in prop::collection::vec(op_strategy(), 1..300)) {
+#[test]
+fn pab_verdicts_always_match_the_pat() {
+    let mut gen = DetRng::new(0x9AB, 0);
+    for case in 0..64 {
+        let n_ops = gen.range(1, 300);
+        let ops: Vec<PatOp> = (0..n_ops).map(|_| random_op(&mut gen)).collect();
         let cfg = SystemConfig::default();
         let mut mem = MemorySystem::new(&cfg);
         let mut pat = Pat::new();
@@ -47,36 +54,43 @@ proptest! {
                 }
                 PatOp::Check { page } => {
                     let line = PageAddr(page as u64).first_line();
-                    let (ready, verdict) =
-                        pab.check_store(CoreId(0), line, &pat, &mut mem, now);
-                    prop_assert!(ready >= now);
+                    let (ready, verdict) = pab.check_store(CoreId(0), line, &pat, &mut mem, now);
+                    assert!(ready >= now, "case {case}");
                     let expected = if pat.is_reliable(PageAddr(page as u64)) {
                         PabVerdict::Violation
                     } else {
                         PabVerdict::Allowed
                     };
-                    prop_assert_eq!(verdict, expected);
+                    assert_eq!(verdict, expected, "case {case}");
                 }
             }
-            prop_assert!(pab.occupancy() <= cfg.pab.entries as usize);
+            assert!(pab.occupancy() <= cfg.pab.entries as usize, "case {case}");
         }
         // Accounting: hits + misses == lookups.
         let s = pab.stats();
-        prop_assert_eq!(s.hits + s.misses, s.lookups);
+        assert_eq!(s.hits + s.misses, s.lookups, "case {case}");
     }
+}
 
-    #[test]
-    fn pat_range_updates_are_exact(start in 0u64..50_000, len in 1u64..600) {
+#[test]
+fn pat_range_updates_are_exact() {
+    let mut gen = DetRng::new(0x9AC, 0);
+    for case in 0..64 {
+        let start = gen.below(50_000);
+        let len = gen.range(1, 600);
         let mut pat = Pat::new();
         pat.set_range_reliable(start..start + len, true);
-        prop_assert!(!pat.is_reliable(PageAddr(start.wrapping_sub(1))));
-        prop_assert!(pat.is_reliable(PageAddr(start)));
-        prop_assert!(pat.is_reliable(PageAddr(start + len - 1)));
-        prop_assert!(!pat.is_reliable(PageAddr(start + len)));
+        assert!(
+            !pat.is_reliable(PageAddr(start.wrapping_sub(1))),
+            "case {case}"
+        );
+        assert!(pat.is_reliable(PageAddr(start)), "case {case}");
+        assert!(pat.is_reliable(PageAddr(start + len - 1)), "case {case}");
+        assert!(!pat.is_reliable(PageAddr(start + len)), "case {case}");
         // Clearing undoes it exactly.
         pat.set_range_reliable(start..start + len, false);
         for p in [start, start + len / 2, start + len - 1] {
-            prop_assert!(!pat.is_reliable(PageAddr(p)));
+            assert!(!pat.is_reliable(PageAddr(p)), "case {case}");
         }
     }
 }

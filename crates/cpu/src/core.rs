@@ -25,6 +25,7 @@ use std::collections::VecDeque;
 
 use mmm_mem::request::store_token;
 use mmm_mem::{MemorySystem, Source};
+use mmm_trace::{Event, Tracer};
 use mmm_types::config::{Consistency, SystemConfig};
 use mmm_types::{CoreId, Cycle, LineAddr, VcpuId};
 use mmm_workload::{MicroOp, OpClass, Privilege};
@@ -106,6 +107,7 @@ pub struct Core {
 
     tlb: Tlb,
     stats: CoreStats,
+    tracer: Tracer,
 }
 
 impl Core {
@@ -144,7 +146,14 @@ impl Core {
             last_ready: 0,
             tlb: Tlb::new(cfg.core.tlb_entries, cfg.core.tlb_fill_latency),
             stats: CoreStats::new(),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Installs a tracer handle. The default is off; an off tracer
+    /// costs one branch per emission site and never constructs events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// This core's identifier.
@@ -446,11 +455,17 @@ impl Core {
                 self.si_in_flight = false;
                 let resume = self.gate.as_ref().map(|g| g.si_resume_delay()).unwrap_or(2);
                 self.si_resume_until = now + resume as Cycle;
+                let id = self.id;
+                self.tracer.emit(now, || Event::SiStall {
+                    core: id,
+                    cycles: resume as u64,
+                });
             }
             _ => {}
         }
         let unprotected = self.gate.is_none();
         let ctx = self.context.as_mut().expect("busy core has context");
+        let vcpu = ctx.vcpu();
         match slot.op.privilege {
             Privilege::User => {
                 ctx.user_commits += 1;
@@ -471,6 +486,14 @@ impl Core {
             } else if slot.op.exits_os {
                 t.on_exit_os(now);
             }
+        }
+        if slot.op.enters_os || slot.op.exits_os {
+            let id = self.id;
+            self.tracer.emit(now, || Event::PhaseBoundary {
+                core: id,
+                vcpu,
+                to_os: slot.op.enters_os,
+            });
         }
     }
 

@@ -8,12 +8,14 @@
 //! 3. mute requests never perturb the directory;
 //! 4. mute stores never become globally visible;
 //! 5. cache occupancies never exceed capacity.
-
-use proptest::prelude::*;
+//!
+//! Deterministic property testing: interleavings are generated from a
+//! fixed-seed [`DetRng`], so failures reproduce exactly (the build is
+//! offline; no proptest).
 
 use mmm_mem::request::store_token;
 use mmm_mem::MemorySystem;
-use mmm_types::{CoreId, LineAddr, SystemConfig, VcpuId};
+use mmm_types::{CoreId, DetRng, LineAddr, SystemConfig, VcpuId};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -23,21 +25,23 @@ enum Op {
     Heal { core: u8, line: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..8u8, 0..24u8, any::<bool>()).prop_map(|(core, line, coherent)| Op::Load {
+fn random_op(rng: &mut DetRng) -> Op {
+    let core = rng.below(8) as u8;
+    let line = rng.below(24) as u8;
+    match rng.below(4) {
+        0 => Op::Load {
             core,
             line,
-            coherent
-        }),
-        (0..8u8, 0..24u8, any::<bool>()).prop_map(|(core, line, coherent)| Op::Store {
+            coherent: rng.chance(0.5),
+        },
+        1 => Op::Store {
             core,
             line,
-            coherent
-        }),
-        (0..8u8, 0..24u8).prop_map(|(core, line)| Op::Ifetch { core, line }),
-        (0..8u8, 0..24u8).prop_map(|(core, line)| Op::Heal { core, line }),
-    ]
+            coherent: rng.chance(0.5),
+        },
+        2 => Op::Ifetch { core, line },
+        _ => Op::Heal { core, line },
+    }
 }
 
 fn line_addr(i: u8) -> LineAddr {
@@ -71,11 +75,12 @@ fn check_invariants(mem: &MemorySystem, lines: &[LineAddr]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn coherence_invariants_hold_under_random_traffic(ops in prop::collection::vec(op_strategy(), 1..300)) {
+#[test]
+fn coherence_invariants_hold_under_random_traffic() {
+    let mut gen = DetRng::new(0xC0DE, 0);
+    for case in 0..64 {
+        let n_ops = gen.range(1, 300);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut gen)).collect();
         let cfg = SystemConfig::default();
         let mut mem = MemorySystem::new(&cfg);
         let lines: Vec<LineAddr> = (0..24u8).map(line_addr).collect();
@@ -84,18 +89,26 @@ proptest! {
         for op in &ops {
             now += 7;
             match *op {
-                Op::Load { core, line, coherent } => {
+                Op::Load {
+                    core,
+                    line,
+                    coherent,
+                } => {
                     let l = line_addr(line);
                     let acc = mem.load(CoreId(core as u16), l, coherent, now);
                     if coherent {
-                        prop_assert_eq!(
+                        assert_eq!(
                             acc.version,
                             mem.current_version(l),
-                            "coherent load must observe the current version"
+                            "case {case}: coherent load must observe the current version"
                         );
                     }
                 }
-                Op::Store { core, line, coherent } => {
+                Op::Store {
+                    core,
+                    line,
+                    coherent,
+                } => {
                     seq += 1;
                     let l = line_addr(line);
                     let c = CoreId(core as u16);
@@ -104,11 +117,12 @@ proptest! {
                     mem.store_acquire(c, l, coherent, now);
                     mem.store_commit(c, l, token, coherent, now + 1);
                     if coherent {
-                        prop_assert_eq!(mem.current_version(l), token);
+                        assert_eq!(mem.current_version(l), token, "case {case}");
                     } else {
-                        prop_assert_eq!(
-                            mem.current_version(l), before,
-                            "mute stores must stay invisible"
+                        assert_eq!(
+                            mem.current_version(l),
+                            before,
+                            "case {case}: mute stores must stay invisible"
                         );
                     }
                 }
@@ -122,11 +136,16 @@ proptest! {
             check_invariants(&mem, &lines);
         }
     }
+}
 
-    #[test]
-    fn mute_traffic_never_touches_the_directory(
-        ops in prop::collection::vec((0..4u8, 0..16u8, any::<bool>()), 1..200)
-    ) {
+#[test]
+fn mute_traffic_never_touches_the_directory() {
+    let mut gen = DetRng::new(0xC0DF, 0);
+    for case in 0..64 {
+        let n_ops = gen.range(1, 200);
+        let ops: Vec<(u8, u8, bool)> = (0..n_ops)
+            .map(|_| (gen.below(4) as u8, gen.below(16) as u8, gen.chance(0.5)))
+            .collect();
         let cfg = SystemConfig::default();
         let mut mem = MemorySystem::new(&cfg);
         // Mute core 7 issues arbitrary incoherent traffic interleaved
@@ -164,18 +183,23 @@ proptest! {
             } else {
                 mem.load(mute, l, false, now + 1);
             }
-            prop_assert!(
+            assert!(
                 !mem.directory().entry(l).has_sharer(mute),
-                "mute must never appear in the directory"
+                "case {case}: mute must never appear in the directory"
             );
-            prop_assert_ne!(mem.directory().entry(l).owner, Some(mute));
+            assert_ne!(mem.directory().entry(l).owner, Some(mute), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn flush_mute_leaves_no_incoherent_lines(
-        fills in prop::collection::vec((0..64u8, any::<bool>()), 1..100)
-    ) {
+#[test]
+fn flush_mute_leaves_no_incoherent_lines() {
+    let mut gen = DetRng::new(0xC0E0, 0);
+    for case in 0..64 {
+        let n_fills = gen.range(1, 100);
+        let fills: Vec<(u8, bool)> = (0..n_fills)
+            .map(|_| (gen.below(64) as u8, gen.chance(0.5)))
+            .collect();
         let cfg = SystemConfig::default();
         let mut mem = MemorySystem::new(&cfg);
         let mute = CoreId(3);
@@ -193,18 +217,21 @@ proptest! {
             }
         }
         let out = mem.flush_mute(mute, now + 10);
-        prop_assert!(out.complete_at > now + 10);
+        assert!(out.complete_at > now + 10, "case {case}");
         // After the flush, no line in the mute's L2 is incoherent.
         for i in 0..64u8 {
             if let Some(l) = mem.peek_l2(mute, line_addr(i % 24)) {
-                prop_assert!(l.coherent, "incoherent line survived the flush");
+                assert!(
+                    l.coherent,
+                    "case {case}: incoherent line survived the flush"
+                );
             }
         }
         // And nothing incoherent became globally visible.
         for i in 0..24u8 {
             let l = line_addr(i);
             if let Some(l3) = mem.peek_l3(l) {
-                prop_assert!(l3.coherent);
+                assert!(l3.coherent, "case {case}");
             }
         }
     }

@@ -73,6 +73,9 @@ pub struct PairChannel {
     recovery_floor: Cycle,
     /// Pending heal requests for the mute core's stale lines.
     heals: Vec<LineAddr>,
+    /// Mismatches detected since the last drain: `(detect cycle,
+    /// cause)` with cause `"input_incoherence"` or `"fault"`.
+    mismatches: Vec<(Cycle, &'static str)>,
     /// Inject a fault into the next compared instruction.
     pending_fault: bool,
     stats: PairStats,
@@ -90,6 +93,7 @@ impl PairChannel {
             prefix: [0; 2],
             recovery_floor: 0,
             heals: Vec::new(),
+            mismatches: Vec::new(),
             pending_fault: false,
             stats: PairStats::default(),
         }
@@ -115,6 +119,13 @@ impl PairChannel {
     /// Takes the pending mute-heal requests.
     pub fn take_heals(&mut self) -> Vec<LineAddr> {
         std::mem::take(&mut self.heals)
+    }
+
+    /// Takes the mismatches detected since the last drain, as
+    /// `(detect cycle, cause)` pairs. Drained once per simulated cycle
+    /// by the pair's service hook (which feeds the trace layer).
+    pub fn take_mismatches(&mut self) -> Vec<(Cycle, &'static str)> {
+        std::mem::take(&mut self.mismatches)
     }
 
     fn rec_index(&self, seq: u64) -> usize {
@@ -185,12 +196,14 @@ impl PairChannel {
         self.stats.recovery_cycles += stall;
         if incoherent {
             self.stats.input_incoherence += 1;
+            self.mismatches.push((detect, "input_incoherence"));
             if let Some((line, _)) = mute_obs {
                 self.heals.push(line);
             }
         }
         if fault {
             self.stats.faults_detected += 1;
+            self.mismatches.push((detect, "fault"));
         }
     }
 

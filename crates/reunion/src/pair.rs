@@ -17,6 +17,7 @@ use std::rc::Rc;
 
 use mmm_cpu::{CommitGate, Core, ExecContext};
 use mmm_mem::{MemorySystem, VersionToken};
+use mmm_trace::{Event, Tracer};
 use mmm_types::config::ReunionConfig;
 use mmm_types::{CoreId, Cycle, LineAddr};
 
@@ -61,6 +62,7 @@ pub struct DmrPair {
     vocal: CoreId,
     mute: CoreId,
     channel: Rc<RefCell<PairChannel>>,
+    tracer: Tracer,
 }
 
 impl DmrPair {
@@ -93,7 +95,14 @@ impl DmrPair {
             vocal: vocal.id(),
             mute: mute.id(),
             channel,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Installs a tracer handle: subsequent fingerprint mismatches are
+    /// emitted as [`Event::CheckMismatch`] records.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The vocal core's id.
@@ -131,6 +140,13 @@ impl DmrPair {
         let heals = self.channel.borrow_mut().take_heals();
         for line in heals {
             mem.heal_line(self.mute, line);
+        }
+        for (at, cause) in self.channel.borrow_mut().take_mismatches() {
+            self.tracer.emit(at, || Event::CheckMismatch {
+                vocal: self.vocal,
+                mute: self.mute,
+                cause,
+            });
         }
     }
 

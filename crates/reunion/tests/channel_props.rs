@@ -1,23 +1,26 @@
 //! Property tests for the fingerprint exchange channel.
-
-use proptest::prelude::*;
+//!
+//! Deterministic property testing: interleavings are generated from a
+//! fixed-seed [`DetRng`], so failures reproduce exactly (the build is
+//! offline; no proptest).
 
 use mmm_reunion::channel::{PairChannel, Side};
 use mmm_types::config::ReunionConfig;
-use mmm_types::LineAddr;
+use mmm_types::{DetRng, LineAddr};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Whatever the interleaving of vocal/mute publishes, an op's
-    /// release time (once known) is at least both sides' execution
-    /// completion plus the fingerprint latency, and never precedes an
-    /// older op's release.
-    #[test]
-    fn release_times_are_causal_and_monotone(
-        exec_latencies in prop::collection::vec((1u64..200, 1u64..200), 1..120),
-        vocal_lead in 0u64..50
-    ) {
+/// Whatever the interleaving of vocal/mute publishes, an op's
+/// release time (once known) is at least both sides' execution
+/// completion plus the fingerprint latency, and never precedes an
+/// older op's release.
+#[test]
+fn release_times_are_causal_and_monotone() {
+    let mut gen = DetRng::new(0x0CEA, 0);
+    for case in 0..128 {
+        let n = gen.range(1, 120);
+        let exec_latencies: Vec<(u64, u64)> = (0..n)
+            .map(|_| (gen.range(1, 200), gen.range(1, 200)))
+            .collect();
+        let vocal_lead = gen.below(50);
         let cfg = ReunionConfig::default();
         let mut ch = PairChannel::new(cfg, 0);
         let mut t_vocal = 100u64;
@@ -39,21 +42,24 @@ proptest! {
             let release = ch
                 .commit_time(seq as u64, u64::MAX)
                 .expect("fully published");
-            prop_assert!(
+            assert!(
                 release >= max_exec + cfg.fingerprint_latency as u64,
-                "release {release} precedes exchange of seq {seq}"
+                "case {case}: release {release} precedes exchange of seq {seq}"
             );
-            prop_assert!(release >= prev_release, "in-order Check stage");
+            assert!(release >= prev_release, "case {case}: in-order Check stage");
             prev_release = release;
         }
     }
+}
 
-    /// Every mismatching load raises exactly one heal for the line the
-    /// mute observed, and matching loads raise none.
-    #[test]
-    fn heals_match_the_mismatches(
-        loads in prop::collection::vec((0u64..32, any::<bool>()), 1..100)
-    ) {
+/// Every mismatching load raises exactly one heal for the line the
+/// mute observed, and matching loads raise none.
+#[test]
+fn heals_match_the_mismatches() {
+    let mut gen = DetRng::new(0x0CEB, 0);
+    for case in 0..128 {
+        let n = gen.range(1, 100);
+        let loads: Vec<(u64, bool)> = (0..n).map(|_| (gen.below(32), gen.chance(0.5))).collect();
         let cfg = ReunionConfig::default();
         let mut ch = PairChannel::new(cfg, 0);
         let mut expected: Vec<LineAddr> = Vec::new();
@@ -68,20 +74,22 @@ proptest! {
             }
         }
         let heals = ch.take_heals();
-        prop_assert_eq!(heals, expected);
-        prop_assert_eq!(
+        assert_eq!(heals, expected, "case {case}");
+        assert_eq!(
             ch.stats().input_incoherence,
-            loads.iter().filter(|&&(_, s)| s).count() as u64
+            loads.iter().filter(|&&(_, s)| s).count() as u64,
+            "case {case}"
         );
     }
+}
 
-    /// Recovery only ever pushes release times later, never earlier.
-    #[test]
-    fn recovery_floor_never_rewinds(
-        n_ops in 2u64..64,
-        mismatch_at in 0u64..32
-    ) {
-        let mismatch_at = mismatch_at.min(n_ops - 1);
+/// Recovery only ever pushes release times later, never earlier.
+#[test]
+fn recovery_floor_never_rewinds() {
+    let mut gen = DetRng::new(0x0CEC, 0);
+    for case in 0..128 {
+        let n_ops = gen.range(2, 64);
+        let mismatch_at = gen.below(32).min(n_ops - 1);
         let cfg = ReunionConfig::default();
         let mut clean = PairChannel::new(cfg, 0);
         let mut faulty = PairChannel::new(cfg, 0);
@@ -96,14 +104,17 @@ proptest! {
         for seq in 0..n_ops {
             let c = clean.commit_time(seq, u64::MAX).unwrap();
             let f = faulty.commit_time(seq, u64::MAX).unwrap();
-            prop_assert!(f >= c, "recovery made seq {seq} commit earlier");
+            assert!(
+                f >= c,
+                "case {case}: recovery made seq {seq} commit earlier"
+            );
             if seq == mismatch_at {
                 // The mismatching op itself must absorb the full
                 // recovery; younger ops may outrun the floor once
                 // their natural release passes it.
-                prop_assert!(
+                assert!(
                     f >= c + cfg.recovery_penalty as u64,
-                    "the mismatching op must absorb the recovery"
+                    "case {case}: the mismatching op must absorb the recovery"
                 );
             }
         }

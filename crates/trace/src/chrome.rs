@@ -1,0 +1,277 @@
+//! Chrome trace-event export.
+//!
+//! Converts a recorded event stream into the Chrome trace-event JSON
+//! format, viewable in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`. Each physical core gets two tracks: a *mode*
+//! track showing what the core was doing (idle, performance-mode VCPU,
+//! vocal/mute half of a DMR pair, or mid-transition), and an *events*
+//! track carrying instants (faults, PAB denials, check mismatches,
+//! phase boundaries) and serializing-stall slices. Timestamps are in
+//! cycles; the `displayTimeUnit` is nanoseconds, so one "ns" on screen
+//! is one simulated cycle.
+
+use mmm_types::CoreId;
+
+use crate::event::{Event, SchedAction, TraceRecord};
+use crate::json::Json;
+
+/// Builds the full Chrome trace JSON document from a record stream.
+///
+/// `num_cores` fixes how many per-core tracks are named up front;
+/// events for higher core ids still render, just without a pretty
+/// thread name. `end` closes any still-open mode slice (pass the final
+/// simulated cycle).
+pub fn chrome_trace(records: &[TraceRecord], num_cores: usize, end: u64) -> String {
+    let mut events: Vec<Json> = Vec::with_capacity(records.len() + num_cores * 2 + 1);
+
+    events.push(meta_process_name());
+    for c in 0..num_cores {
+        events.push(meta_thread_name(
+            mode_tid(CoreId(c as u16)),
+            &format!("C{c} mode"),
+        ));
+        events.push(meta_thread_name(
+            event_tid(CoreId(c as u16)),
+            &format!("C{c} events"),
+        ));
+    }
+
+    // Per-core open mode slice: (name, start cycle).
+    let mut open: Vec<Option<(String, u64)>> = vec![None; num_cores.max(16)];
+    let close_and_open = |events: &mut Vec<Json>,
+                          open: &mut Vec<Option<(String, u64)>>,
+                          core: CoreId,
+                          at: u64,
+                          next: Option<String>| {
+        let idx = core.index();
+        if idx >= open.len() {
+            open.resize(idx + 1, None);
+        }
+        if let Some((name, start)) = open[idx].take() {
+            events.push(complete_slice(&name, mode_tid(core), start, at.max(start)));
+        }
+        open[idx] = next.map(|n| (n, at));
+    };
+
+    for rec in records {
+        let at = rec.at;
+        match &rec.event {
+            Event::SchedDecision {
+                action,
+                core,
+                partner,
+                vcpu,
+            } => {
+                let vl = vcpu.map_or_else(|| "?".to_string(), |v| format!("V{}", v.0));
+                match action {
+                    SchedAction::InstallSolo => {
+                        close_and_open(
+                            &mut events,
+                            &mut open,
+                            *core,
+                            at,
+                            Some(format!("perf {vl}")),
+                        );
+                    }
+                    SchedAction::InstallDmr => {
+                        close_and_open(
+                            &mut events,
+                            &mut open,
+                            *core,
+                            at,
+                            Some(format!("dmr-vocal {vl}")),
+                        );
+                        if let Some(mute) = partner {
+                            close_and_open(
+                                &mut events,
+                                &mut open,
+                                *mute,
+                                at,
+                                Some(format!("dmr-mute {vl}")),
+                            );
+                        }
+                    }
+                    SchedAction::EvictSolo => {
+                        close_and_open(&mut events, &mut open, *core, at, None);
+                    }
+                    SchedAction::EvictDmr => {
+                        close_and_open(&mut events, &mut open, *core, at, None);
+                        if let Some(mute) = partner {
+                            close_and_open(&mut events, &mut open, *mute, at, None);
+                        }
+                    }
+                    SchedAction::GangSwitch
+                    | SchedAction::OvercommitSwitch
+                    | SchedAction::SingleOsPoll => {
+                        events.push(instant(rec, event_tid(*core)));
+                    }
+                }
+            }
+            Event::ModeTransition { core, kind, done } => {
+                events.push(Json::obj([
+                    ("name", Json::str(kind.label())),
+                    ("ph", Json::str("X")),
+                    ("pid", Json::U64(1)),
+                    ("tid", Json::U64(event_tid(*core))),
+                    ("ts", Json::U64(at)),
+                    ("dur", Json::U64(done.saturating_sub(at))),
+                    ("args", rec.event.args()),
+                ]));
+            }
+            Event::SiStall { core, cycles } => {
+                events.push(Json::obj([
+                    ("name", Json::str("si_stall")),
+                    ("ph", Json::str("X")),
+                    ("pid", Json::U64(1)),
+                    ("tid", Json::U64(event_tid(*core))),
+                    ("ts", Json::U64(at)),
+                    ("dur", Json::U64(*cycles)),
+                    ("args", rec.event.args()),
+                ]));
+            }
+            other => {
+                events.push(instant(rec, event_tid(other.core())));
+            }
+        }
+    }
+
+    // Close whatever is still running at the end of the run.
+    for (idx, slot) in open.iter_mut().enumerate() {
+        if let Some((name, start)) = slot.take() {
+            let core = CoreId(idx as u16);
+            events.push(complete_slice(&name, mode_tid(core), start, end.max(start)));
+        }
+    }
+
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ns")),
+    ])
+    .render()
+}
+
+/// The mode track's thread id for a core.
+fn mode_tid(core: CoreId) -> u64 {
+    core.0 as u64 * 2
+}
+
+/// The events track's thread id for a core.
+fn event_tid(core: CoreId) -> u64 {
+    core.0 as u64 * 2 + 1
+}
+
+fn meta_process_name() -> Json {
+    Json::obj([
+        ("name", Json::str("process_name")),
+        ("ph", Json::str("M")),
+        ("pid", Json::U64(1)),
+        (
+            "args",
+            Json::obj([("name", Json::str("mixed-mode multicore"))]),
+        ),
+    ])
+}
+
+fn meta_thread_name(tid: u64, name: &str) -> Json {
+    Json::obj([
+        ("name", Json::str("thread_name")),
+        ("ph", Json::str("M")),
+        ("pid", Json::U64(1)),
+        ("tid", Json::U64(tid)),
+        ("args", Json::obj([("name", Json::str(name))])),
+    ])
+}
+
+fn complete_slice(name: &str, tid: u64, start: u64, end: u64) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("ph", Json::str("X")),
+        ("pid", Json::U64(1)),
+        ("tid", Json::U64(tid)),
+        ("ts", Json::U64(start)),
+        ("dur", Json::U64(end - start)),
+    ])
+}
+
+fn instant(rec: &TraceRecord, tid: u64) -> Json {
+    Json::obj([
+        ("name", Json::str(rec.event.name())),
+        ("ph", Json::str("i")),
+        ("s", Json::str("t")),
+        ("pid", Json::U64(1)),
+        ("tid", Json::U64(tid)),
+        ("ts", Json::U64(rec.at)),
+        ("args", rec.event.args()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_types::VcpuId;
+
+    fn rec(seq: u64, at: u64, event: Event) -> TraceRecord {
+        TraceRecord { seq, at, event }
+    }
+
+    #[test]
+    fn install_and_evict_produce_mode_slices() {
+        let records = vec![
+            rec(
+                0,
+                100,
+                Event::SchedDecision {
+                    action: SchedAction::InstallDmr,
+                    core: CoreId(0),
+                    partner: Some(CoreId(1)),
+                    vcpu: Some(VcpuId(3)),
+                },
+            ),
+            rec(
+                1,
+                900,
+                Event::SchedDecision {
+                    action: SchedAction::EvictDmr,
+                    core: CoreId(0),
+                    partner: Some(CoreId(1)),
+                    vcpu: Some(VcpuId(3)),
+                },
+            ),
+        ];
+        let out = chrome_trace(&records, 2, 1000);
+        assert!(out.contains("\"dmr-vocal V3\""), "{out}");
+        assert!(out.contains("\"dmr-mute V3\""), "{out}");
+        assert!(out.contains("\"dur\":800"), "{out}");
+        assert!(out.contains("\"displayTimeUnit\":\"ns\""));
+    }
+
+    #[test]
+    fn open_slices_are_closed_at_end() {
+        let records = vec![rec(
+            0,
+            10,
+            Event::SchedDecision {
+                action: SchedAction::InstallSolo,
+                core: CoreId(2),
+                partner: None,
+                vcpu: Some(VcpuId(0)),
+            },
+        )];
+        let out = chrome_trace(&records, 4, 50);
+        assert!(out.contains("\"perf V0\""));
+        assert!(out.contains("\"dur\":40"), "{out}");
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let records = vec![rec(
+            0,
+            5,
+            Event::PabDeny {
+                core: CoreId(1),
+                page: 77,
+            },
+        )];
+        assert_eq!(chrome_trace(&records, 2, 10), chrome_trace(&records, 2, 10));
+    }
+}

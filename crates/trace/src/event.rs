@@ -1,0 +1,226 @@
+//! The typed, cycle-stamped event taxonomy.
+//!
+//! Every observable state change the paper reasons about — mode
+//! transitions, fault injection and masking, PAB denials, Reunion
+//! check mismatches, serializing-instruction stalls, scheduling
+//! decisions, and user/OS phase boundaries — is one variant here.
+//! Events are cheap POD values; constructing one allocates nothing,
+//! so the tracing hot path stays off the simulator's profile.
+
+use crate::json::Json;
+use mmm_types::{CoreId, Cycle, VcpuId};
+
+/// Which mode-transition microprogram ran (paper §3.4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransitionKind {
+    /// A VCPU moved from performance to reliable (DMR) execution.
+    EnterDmr,
+    /// A VCPU left DMR for performance execution (includes the mute
+    /// L2 flush walk under MMM-TP).
+    LeaveDmr,
+    /// A gang switch between two DMR VCPUs.
+    DmrSwitch,
+    /// A gang switch between two performance VCPUs.
+    PerfSwitch,
+}
+
+impl TransitionKind {
+    /// Stable lowercase label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TransitionKind::EnterDmr => "enter_dmr",
+            TransitionKind::LeaveDmr => "leave_dmr",
+            TransitionKind::DmrSwitch => "dmr_switch",
+            TransitionKind::PerfSwitch => "perf_switch",
+        }
+    }
+}
+
+/// What the scheduler decided to do with a core (or core pair).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedAction {
+    /// A VCPU was placed on a single core in performance mode.
+    InstallSolo,
+    /// A VCPU was placed on a vocal/mute pair in DMR mode.
+    InstallDmr,
+    /// A performance-mode VCPU was removed from its core.
+    EvictSolo,
+    /// A DMR VCPU was removed from its pair.
+    EvictDmr,
+    /// A timeslice-driven gang switch started.
+    GangSwitch,
+    /// An overcommit rotation started.
+    OvercommitSwitch,
+    /// The single-OS poller moved a VCPU between modes.
+    SingleOsPoll,
+}
+
+impl SchedAction {
+    /// Stable lowercase label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedAction::InstallSolo => "install_solo",
+            SchedAction::InstallDmr => "install_dmr",
+            SchedAction::EvictSolo => "evict_solo",
+            SchedAction::EvictDmr => "evict_dmr",
+            SchedAction::GangSwitch => "gang_switch",
+            SchedAction::OvercommitSwitch => "overcommit_switch",
+            SchedAction::SingleOsPoll => "single_os_poll",
+        }
+    }
+}
+
+/// One observable simulator event. The cycle stamp lives in
+/// [`TraceRecord`]; variants carry only event-specific payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A mode-transition microprogram ran on `core`, completing at
+    /// `done` (the record's stamp is the start cycle).
+    ModeTransition {
+        /// The core that paid the transition cost.
+        core: CoreId,
+        /// Which microprogram ran.
+        kind: TransitionKind,
+        /// Completion cycle; `done - at` is the transition cost.
+        done: Cycle,
+    },
+    /// The injector flipped a bit at `site` on `core`.
+    FaultInjected {
+        /// The struck core.
+        core: CoreId,
+        /// Stable site label (`core_logic`, `tlb_permission`, `priv_reg`).
+        site: &'static str,
+    },
+    /// An injected fault was contained or proved harmless.
+    FaultMasked {
+        /// The struck core.
+        core: CoreId,
+        /// Stable site label.
+        site: &'static str,
+        /// How it was masked (`dmr_detected`, `idle`, `pab_blocked`, ...).
+        reason: &'static str,
+    },
+    /// The PAB refused a performance-mode store to a reliable page.
+    PabDeny {
+        /// The storing core.
+        core: CoreId,
+        /// The page number that was protected.
+        page: u64,
+    },
+    /// A serializing instruction stalled the pipeline.
+    SiStall {
+        /// The stalled core.
+        core: CoreId,
+        /// Stall length in cycles.
+        cycles: u64,
+    },
+    /// The scheduler (re)mapped VCPUs onto cores.
+    SchedDecision {
+        /// What happened.
+        action: SchedAction,
+        /// The core acted on (the vocal for pair actions).
+        core: CoreId,
+        /// The mute core, for pair actions.
+        partner: Option<CoreId>,
+        /// The VCPU involved, when one is.
+        vcpu: Option<VcpuId>,
+    },
+    /// The Reunion check stage saw vocal/mute fingerprints disagree.
+    CheckMismatch {
+        /// The vocal core of the pair.
+        vocal: CoreId,
+        /// The mute core of the pair.
+        mute: CoreId,
+        /// `input_incoherence` or `fault`.
+        cause: &'static str,
+    },
+    /// A VCPU crossed the user/OS boundary.
+    PhaseBoundary {
+        /// The core running the VCPU.
+        core: CoreId,
+        /// The VCPU that trapped or returned.
+        vcpu: VcpuId,
+        /// `true` on OS entry, `false` on return to user.
+        to_os: bool,
+    },
+}
+
+impl Event {
+    /// Stable lowercase name of the variant, used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::ModeTransition { .. } => "mode_transition",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::FaultMasked { .. } => "fault_masked",
+            Event::PabDeny { .. } => "pab_deny",
+            Event::SiStall { .. } => "si_stall",
+            Event::SchedDecision { .. } => "sched_decision",
+            Event::CheckMismatch { .. } => "check_mismatch",
+            Event::PhaseBoundary { .. } => "phase_boundary",
+        }
+    }
+
+    /// The core this event is attributed to in per-core timelines.
+    pub fn core(&self) -> CoreId {
+        match *self {
+            Event::ModeTransition { core, .. }
+            | Event::FaultInjected { core, .. }
+            | Event::FaultMasked { core, .. }
+            | Event::PabDeny { core, .. }
+            | Event::SiStall { core, .. }
+            | Event::SchedDecision { core, .. }
+            | Event::PhaseBoundary { core, .. } => core,
+            Event::CheckMismatch { vocal, .. } => vocal,
+        }
+    }
+
+    /// Event-specific payload as a JSON object (without name/stamp).
+    pub fn args(&self) -> Json {
+        match *self {
+            Event::ModeTransition { kind, done, .. } => {
+                Json::obj([("kind", Json::str(kind.label())), ("done", Json::U64(done))])
+            }
+            Event::FaultInjected { site, .. } => Json::obj([("site", Json::str(site))]),
+            Event::FaultMasked { site, reason, .. } => {
+                Json::obj([("site", Json::str(site)), ("reason", Json::str(reason))])
+            }
+            Event::PabDeny { page, .. } => Json::obj([("page", Json::U64(page))]),
+            Event::SiStall { cycles, .. } => Json::obj([("cycles", Json::U64(cycles))]),
+            Event::SchedDecision {
+                action,
+                partner,
+                vcpu,
+                ..
+            } => Json::obj([
+                ("action", Json::str(action.label())),
+                (
+                    "partner",
+                    partner.map_or(Json::Null, |c| Json::U64(c.0 as u64)),
+                ),
+                ("vcpu", vcpu.map_or(Json::Null, |v| Json::U64(v.0 as u64))),
+            ]),
+            Event::CheckMismatch { vocal, mute, cause } => Json::obj([
+                ("vocal", Json::U64(vocal.0 as u64)),
+                ("mute", Json::U64(mute.0 as u64)),
+                ("cause", Json::str(cause)),
+            ]),
+            Event::PhaseBoundary { vcpu, to_os, .. } => Json::obj([
+                ("vcpu", Json::U64(vcpu.0 as u64)),
+                ("to_os", Json::Bool(to_os)),
+            ]),
+        }
+    }
+}
+
+/// A recorded event: a monotone sequence number, the cycle it
+/// happened, and the event itself.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Monotone per-sink sequence number (survives ring overwrite, so
+    /// consumers can tell how many older records were dropped).
+    pub seq: u64,
+    /// The cycle the event occurred.
+    pub at: Cycle,
+    /// The event payload.
+    pub event: Event,
+}

@@ -1,0 +1,42 @@
+//! `mmm-trace`: the simulator's observability layer.
+//!
+//! Three pieces, usable independently:
+//!
+//! * **Event tracing** — a typed, cycle-stamped [`Event`] taxonomy
+//!   recorded through a cheap [`Tracer`] handle into a bounded
+//!   [`RingSink`] (or discarded by the zero-overhead [`NullSink`]
+//!   default). When tracing is off, `Tracer::emit` is a single branch
+//!   and the event payload is never constructed.
+//! * **Metrics** — a [`MetricsRegistry`] of named counters, gauges,
+//!   histograms, and running stats into which every component's
+//!   statistics export, giving one flat, mergeable namespace.
+//! * **Exporters** — a hand-rolled [`json`] serializer (the build is
+//!   offline; no serde) feeding [`chrome_trace`] (Perfetto-viewable
+//!   per-core timelines) and JSONL report lines.
+//!
+//! ```
+//! use mmm_trace::{chrome_trace, Event, Tracer};
+//! use mmm_types::CoreId;
+//!
+//! let tracer = Tracer::ring(1024);
+//! tracer.emit(42, || Event::PabDeny { core: CoreId(3), page: 7 });
+//! let trace_json = chrome_trace(&tracer.snapshot(), 16, 100);
+//! assert!(trace_json.contains("pab_deny"));
+//!
+//! let silent = Tracer::default(); // NullSink: costs one branch
+//! silent.emit(43, || unreachable!("never built"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+
+pub use chrome::chrome_trace;
+pub use event::{Event, SchedAction, TraceRecord, TransitionKind};
+pub use json::Json;
+pub use metrics::MetricsRegistry;
+pub use sink::{NullSink, RingSink, TraceSink, Tracer};

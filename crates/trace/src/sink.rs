@@ -1,0 +1,228 @@
+//! Trace sinks and the cheap tracer handle threaded through the
+//! simulator.
+//!
+//! The design goal is that an untraced run costs *nothing*: the
+//! default [`Tracer`] holds no sink, `emit` is one branch on a
+//! `None`, and the event-constructing closure is never called. Traced
+//! runs record into a bounded [`RingSink`] so memory stays flat no
+//! matter how long the run is — the newest `capacity` events survive.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use mmm_types::Cycle;
+
+use crate::event::{Event, TraceRecord};
+
+/// Anything that can accept cycle-stamped events.
+pub trait TraceSink {
+    /// Records one event at cycle `at`.
+    fn record(&mut self, at: Cycle, event: Event);
+    /// Whether recording has any effect (lets callers skip payload
+    /// construction).
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The zero-overhead default: discards everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn record(&mut self, _at: Cycle, _event: Event) {}
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A bounded ring buffer of the newest `capacity` records.
+#[derive(Clone, Debug)]
+pub struct RingSink {
+    buf: VecDeque<TraceRecord>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl RingSink {
+    /// Creates a sink keeping at most `capacity` records (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+        }
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The bound this sink was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total records ever recorded (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Records overwritten by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.next_seq - self.buf.len() as u64
+    }
+
+    /// The surviving records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// Clones the surviving records out, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, at: Cycle, event: Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(TraceRecord {
+            seq: self.next_seq,
+            at,
+            event,
+        });
+        self.next_seq += 1;
+    }
+}
+
+/// A cheap, cloneable handle to an optional shared ring sink.
+///
+/// This is what the simulator components hold. `Tracer::default()` is
+/// off — no allocation, and [`Tracer::emit`] compiles to a single
+/// branch. [`Tracer::ring`] turns tracing on; clones share the sink.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    sink: Option<Rc<RefCell<RingSink>>>,
+}
+
+impl Tracer {
+    /// The zero-overhead disabled tracer (same as `default()`).
+    pub fn off() -> Self {
+        Self { sink: None }
+    }
+
+    /// An enabled tracer recording into a fresh ring of `capacity`
+    /// records. Clones of this handle share the ring.
+    pub fn ring(capacity: usize) -> Self {
+        Self {
+            sink: Some(Rc::new(RefCell::new(RingSink::new(capacity)))),
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records the event built by `f` at cycle `at`. When tracing is
+    /// off, `f` is never called — payload construction costs nothing.
+    #[inline]
+    pub fn emit(&self, at: Cycle, f: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(at, f());
+        }
+    }
+
+    /// Clones out the surviving records, oldest first (empty when off).
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.sink
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.borrow().snapshot())
+    }
+
+    /// Total records ever recorded (0 when off).
+    pub fn total_recorded(&self) -> u64 {
+        self.sink
+            .as_ref()
+            .map_or(0, |s| s.borrow().total_recorded())
+    }
+
+    /// Records overwritten by the ring bound (0 when off).
+    pub fn dropped(&self) -> u64 {
+        self.sink.as_ref().map_or(0, |s| s.borrow().dropped())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_types::CoreId;
+
+    fn ev(i: u64) -> Event {
+        Event::SiStall {
+            core: CoreId(0),
+            cycles: i,
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(1, ev(1));
+    }
+
+    #[test]
+    fn ring_keeps_newest() {
+        let mut s = RingSink::new(3);
+        for i in 0..10u64 {
+            s.record(i, ev(i));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.total_recorded(), 10);
+        assert_eq!(s.dropped(), 7);
+        let stamps: Vec<u64> = s.records().map(|r| r.at).collect();
+        assert_eq!(stamps, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn tracer_off_never_builds_events() {
+        let t = Tracer::off();
+        let mut built = false;
+        t.emit(5, || {
+            built = true;
+            ev(0)
+        });
+        assert!(!built, "disabled tracer must not construct events");
+        assert!(!t.is_on());
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn tracer_clones_share_the_ring() {
+        let a = Tracer::ring(8);
+        let b = a.clone();
+        a.emit(1, || ev(1));
+        b.emit(2, || ev(2));
+        let snap = a.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].at, 1);
+        assert_eq!(snap[1].at, 2);
+        assert_eq!(snap[0].seq, 0);
+        assert_eq!(snap[1].seq, 1);
+    }
+}

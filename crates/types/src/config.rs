@@ -5,13 +5,11 @@
 //! overrides only what the experiment varies, so the table in
 //! `DESIGN.md` maps one-to-one onto fields here.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{Error, Result};
 use crate::ids::LINE_BYTES;
 
 /// Geometry of one set-associative cache.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -63,7 +61,7 @@ impl CacheGeometry {
 }
 
 /// Core pipeline parameters (paper §4.1).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CoreConfig {
     /// Baseline pipeline depth in stages (8). Reunion adds one more
     /// (the Check stage), configured in [`ReunionConfig`].
@@ -116,7 +114,7 @@ impl Default for CoreConfig {
 /// which it identifies as the largest contributor to Reunion overhead;
 /// the original Reunion proposal used TSO with a store buffer. Both are
 /// provided so the ablation in `EXPERIMENTS.md` can quantify the gap.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Consistency {
     /// Sequential consistency: a store holds its window entry until the
     /// write completes in the L2.
@@ -128,7 +126,7 @@ pub enum Consistency {
 }
 
 /// Memory-hierarchy parameters (paper §4.1).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MemConfig {
     /// Split L1 instruction cache (16 KB, 2-way, write-through).
     pub l1i: CacheGeometry,
@@ -198,7 +196,7 @@ impl Default for MemConfig {
 }
 
 /// Reunion DMR parameters (paper §3.2, §4.1).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ReunionConfig {
     /// One-way latency of the dedicated fingerprint network (10 cycles).
     pub fingerprint_latency: u32,
@@ -231,7 +229,7 @@ impl Default for ReunionConfig {
 
 /// How the Protection Assistance Buffer is consulted relative to the
 /// L2 access for a store write-through (paper §3.4.1, §5.2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum PabLookup {
     /// Examine the PAB in parallel with the L2 tags; no added latency.
     #[default]
@@ -243,7 +241,7 @@ pub enum PabLookup {
 }
 
 /// Protection Assistance Buffer parameters (paper §3.4.1).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PabConfig {
     /// Number of PAB entries; each holds one 64-byte line of PAT bits,
     /// i.e. covers 512 pages = 4 MB. 128 entries map 512 MB.
@@ -268,7 +266,7 @@ impl Default for PabConfig {
 }
 
 /// Virtualization and mode-transition parameters (paper §3.4.3, §3.5, §4.1).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct VirtConfig {
     /// Architected VCPU state size in bytes (≈2.3 KB for SPARC).
     pub vcpu_state_bytes: u32,
@@ -301,7 +299,7 @@ impl Default for VirtConfig {
 }
 
 /// Full machine configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SystemConfig {
     /// Number of physical cores (16).
     pub cores: u32,

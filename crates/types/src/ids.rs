@@ -7,7 +7,6 @@
 //! line size (64 B) and page size (8 KB, as assumed by the paper's
 //! Protection Assistance Table) are defined exactly once.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A simulation timestamp, measured in core clock cycles at 3 GHz.
@@ -29,9 +28,7 @@ pub const PAGE_SHIFT: u32 = 13;
 macro_rules! small_id {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
-        #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-        )]
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
         pub struct $name(pub u16);
 
         impl $name {
@@ -111,15 +108,15 @@ impl PairId {
 }
 
 /// A full physical byte address.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct PhysAddr(pub u64);
 
 /// A physical cache-line number (byte address divided by 64).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct LineAddr(pub u64);
 
 /// A physical page number (byte address divided by 8192).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct PageAddr(pub u64);
 
 impl PhysAddr {

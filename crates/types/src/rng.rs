@@ -2,30 +2,131 @@
 //!
 //! Experiments must be bit-reproducible across runs and platforms, so
 //! every stochastic component draws from a [`DetRng`] seeded from the
-//! experiment seed plus a stable per-component stream id. `rand`'s
-//! `StdRng` is explicitly not portable across versions; `ChaCha8` is.
-
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+//! experiment seed plus a stable per-component stream id. The
+//! generator is a self-contained ChaCha8 keystream (no external
+//! crates — the build is offline): portable, counter-based, and fast
+//! enough that RNG draws never show up in simulator profiles.
 
 /// A deterministic, portable random-number generator.
 ///
-/// Wraps `ChaCha8Rng` with the handful of draw shapes the simulator
-/// needs (Bernoulli trials, bounded integers, geometric interarrivals,
-/// and a truncated power-law for cache footprints).
+/// A ChaCha8 keystream generator with the handful of draw shapes the
+/// simulator needs (Bernoulli trials, bounded integers, geometric
+/// interarrivals, and a truncated power-law for cache footprints).
+/// Different `(seed, stream)` pairs yield independent sequences;
+/// identical pairs yield identical sequences, on every platform.
 #[derive(Clone, Debug)]
 pub struct DetRng {
-    inner: ChaCha8Rng,
+    seed: u64,
+    stream: u64,
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    idx: usize,
+}
+
+/// SplitMix64 step, used only to expand the one-word seed into the
+/// 256-bit ChaCha key.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
 }
 
 impl DetRng {
     /// Creates a generator from an experiment seed and a component
-    /// stream id. Different `(seed, stream)` pairs yield independent
-    /// sequences; identical pairs yield identical sequences.
+    /// stream id.
     pub fn new(seed: u64, stream: u64) -> Self {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        rng.set_stream(stream);
-        Self { inner: rng }
+        let mut sm = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let w = splitmix64(&mut sm);
+            pair[0] = w as u32;
+            pair[1] = (w >> 32) as u32;
+        }
+        Self {
+            seed,
+            stream,
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+
+    /// Runs the ChaCha8 block function for the current counter and
+    /// refills the output buffer.
+    fn refill(&mut self) {
+        // "expand 32-byte k" || key || block counter || stream nonce.
+        let mut s: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646E,
+            0x7962_2D32,
+            0x6B20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let init = s;
+        for _ in 0..4 {
+            // A double round: four column rounds, four diagonal rounds.
+            quarter_round(&mut s, 0, 4, 8, 12);
+            quarter_round(&mut s, 1, 5, 9, 13);
+            quarter_round(&mut s, 2, 6, 10, 14);
+            quarter_round(&mut s, 3, 7, 11, 15);
+            quarter_round(&mut s, 0, 5, 10, 15);
+            quarter_round(&mut s, 1, 6, 11, 12);
+            quarter_round(&mut s, 2, 7, 8, 13);
+            quarter_round(&mut s, 3, 4, 9, 14);
+        }
+        for (w, &i) in s.iter_mut().zip(init.iter()) {
+            *w = w.wrapping_add(i);
+        }
+        self.buf = s;
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+
+    /// Raw 32-bit keystream word.
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.idx == 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    /// Raw 64-bit draw (for hashing/fingerprint seeds).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
     }
 
     /// A Bernoulli trial: `true` with probability `p` (clamped to `[0,1]`).
@@ -37,7 +138,7 @@ impl DetRng {
         if p >= 1.0 {
             return true;
         }
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -48,20 +149,23 @@ impl DetRng {
     #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..bound)
+        // Widening-multiply range reduction (Lemire). The modulo bias
+        // is at most 2^-64 per draw — far below anything a simulator
+        // statistic can resolve.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi)`.
     #[inline]
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Geometric interarrival: number of trials until an event with
@@ -76,7 +180,7 @@ impl DetRng {
         if p >= 1.0 {
             return 1;
         }
-        let u = self.inner.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u = self.unit().max(f64::MIN_POSITIVE);
         let n = (u.ln() / (1.0 - p).ln()).ceil();
         (n as u64).max(1)
     }
@@ -98,7 +202,7 @@ impl DetRng {
     #[inline]
     pub fn power_law_prepared(&mut self, n: u64, a: f64, inv: f64) -> u64 {
         debug_assert!(n > 0, "power_law over empty domain");
-        let u = self.inner.gen::<f64>();
+        let u = self.unit();
         // Inverse-CDF of p(x) ~ (x+1)^(-skew) over a continuous domain,
         // cheap and adequate for footprint modelling.
         let x = (a * u + (1.0 - u)).powf(inv) - 1.0;
@@ -106,21 +210,13 @@ impl DetRng {
     }
 
     /// Derives a child generator for a sub-component. The child stream
-    /// is a stable function of this generator's stream and `tag`, not
-    /// of how many draws have been made.
+    /// is a stable function of this generator's seed, stream, and
+    /// `tag`, not of how many draws have been made.
     pub fn child(&self, tag: u64) -> DetRng {
-        let seed = self.inner.get_seed();
-        let base = u64::from_le_bytes(seed[..8].try_into().expect("seed is 32 bytes"));
         DetRng::new(
-            base ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            self.inner.get_stream().wrapping_add(tag).wrapping_add(1),
+            self.seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            self.stream.wrapping_add(tag).wrapping_add(1),
         )
-    }
-
-    /// Raw 64-bit draw (for hashing/fingerprint seeds).
-    #[inline]
-    pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
     }
 }
 
@@ -182,6 +278,35 @@ mod tests {
     }
 
     #[test]
+    fn chacha8_known_answer() {
+        // ChaCha8 keystream with an all-zero key and nonce, first block:
+        // reference values from the eSTREAM/RFC test-vector family.
+        let mut r = DetRng {
+            seed: 0,
+            stream: 0,
+            key: [0; 8],
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        };
+        r.refill();
+        let first: [u8; 16] = {
+            let mut out = [0u8; 16];
+            for (i, w) in r.buf[..4].iter().enumerate() {
+                out[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+            }
+            out
+        };
+        assert_eq!(
+            first,
+            [
+                0x3e, 0x00, 0xef, 0x2f, 0x89, 0x5f, 0x40, 0xd6, 0x7f, 0x5b, 0xb8, 0xe8, 0x1f, 0x09,
+                0xa5, 0xa1
+            ]
+        );
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut r = DetRng::new(1, 0);
         assert!(!r.chance(0.0));
@@ -240,6 +365,15 @@ mod tests {
             assert!(r.below(7) < 7);
             let x = r.range(10, 20);
             assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_is_half_open() {
+        let mut r = DetRng::new(13, 0);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
         }
     }
 

@@ -5,10 +5,8 @@
 //! confidence intervals (§4.1); [`mean_ci95`] reproduces that
 //! methodology with a small-sample Student-t table.
 
-use serde::{Deserialize, Serialize};
-
 /// Online mean/variance accumulator (Welford's algorithm).
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct RunningStat {
     n: u64,
     mean: f64,
@@ -113,7 +111,7 @@ pub fn mean_ci95(samples: &[f64]) -> (f64, f64) {
 
 /// A histogram over power-of-two buckets, for latency and interval
 /// distributions (e.g. cycles between mode switches).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Log2Histogram {
     buckets: Vec<u64>,
     count: u64,

@@ -1,18 +1,20 @@
 //! Property tests for the statistics and RNG foundations.
-
-use proptest::prelude::*;
+//!
+//! Deterministic property testing: each property runs over many cases
+//! generated from a fixed-seed [`DetRng`], so failures reproduce
+//! exactly (the build is offline; no proptest).
 
 use mmm_types::rng::PowerLaw;
 use mmm_types::stats::{mean_ci95, Log2Histogram, RunningStat};
 use mmm_types::DetRng;
 
-proptest! {
-    #[test]
-    fn running_stat_merge_equals_sequential(
-        xs in prop::collection::vec(-1e6f64..1e6, 2..200),
-        split in 1usize..100
-    ) {
-        let split = split.min(xs.len() - 1);
+#[test]
+fn running_stat_merge_equals_sequential() {
+    let mut gen = DetRng::new(0xA11CE, 0);
+    for case in 0..64 {
+        let len = gen.range(2, 200) as usize;
+        let xs: Vec<f64> = (0..len).map(|_| (gen.unit() - 0.5) * 2e6).collect();
+        let split = (gen.range(1, 100) as usize).min(xs.len() - 1);
         let mut whole = RunningStat::new();
         xs.iter().for_each(|&x| whole.push(x));
         let mut a = RunningStat::new();
@@ -20,64 +22,84 @@ proptest! {
         xs[..split].iter().for_each(|&x| a.push(x));
         xs[split..].iter().for_each(|&x| b.push(x));
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
-        prop_assert!(
-            (a.variance() - whole.variance()).abs()
-                < 1e-6 * (1.0 + whole.variance().abs())
+        assert_eq!(a.count(), whole.count(), "case {case}");
+        assert!(
+            (a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()),
+            "case {case}"
+        );
+        assert!(
+            (a.variance() - whole.variance()).abs() < 1e-6 * (1.0 + whole.variance().abs()),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn ci_half_width_is_nonnegative_and_mean_in_range(
-        xs in prop::collection::vec(-1e3f64..1e3, 1..50)
-    ) {
+#[test]
+fn ci_half_width_is_nonnegative_and_mean_in_range() {
+    let mut gen = DetRng::new(0xBEE, 0);
+    for case in 0..64 {
+        let len = gen.range(1, 50) as usize;
+        let xs: Vec<f64> = (0..len).map(|_| (gen.unit() - 0.5) * 2e3).collect();
         let (mean, hw) = mean_ci95(&xs);
-        prop_assert!(hw >= 0.0);
+        assert!(hw >= 0.0, "case {case}");
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn histogram_percentiles_are_monotone(
-        vs in prop::collection::vec(0u64..1_000_000, 1..200)
-    ) {
+#[test]
+fn histogram_percentiles_are_monotone() {
+    let mut gen = DetRng::new(0xCAFE, 0);
+    for case in 0..64 {
+        let len = gen.range(1, 200) as usize;
+        let vs: Vec<u64> = (0..len).map(|_| gen.below(1_000_000)).collect();
         let mut h = Log2Histogram::new();
         vs.iter().for_each(|&v| h.record(v));
         let p25 = h.percentile(25.0);
         let p50 = h.percentile(50.0);
         let p99 = h.percentile(99.0);
-        prop_assert!(p25 <= p50 && p50 <= p99);
-        prop_assert!(p99 <= h.max());
-        prop_assert_eq!(h.count(), vs.len() as u64);
+        assert!(p25 <= p50 && p50 <= p99, "case {case}");
+        assert!(p99 <= h.max(), "case {case}");
+        assert_eq!(h.count(), vs.len() as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn power_law_samples_stay_in_domain(n in 1u64..100_000, skew_milli in 1020u64..3000, seed in any::<u64>()) {
-        let skew = skew_milli as f64 / 1000.0;
+#[test]
+fn power_law_samples_stay_in_domain() {
+    let mut gen = DetRng::new(0xD0E, 0);
+    for case in 0..64 {
+        let n = gen.range(1, 100_000);
+        let skew = gen.range(1020, 3000) as f64 / 1000.0;
         let pl = PowerLaw::new(n, skew);
-        let mut rng = DetRng::new(seed, 1);
+        let mut rng = DetRng::new(gen.next_u64(), 1);
         for _ in 0..200 {
-            prop_assert!(pl.sample(&mut rng) < n);
+            assert!(pl.sample(&mut rng) < n, "case {case}: n={n} skew={skew}");
         }
     }
+}
 
-    #[test]
-    fn geometric_is_at_least_one(p_milli in 1u64..1000, seed in any::<u64>()) {
-        let mut rng = DetRng::new(seed, 2);
-        let p = p_milli as f64 / 1000.0;
+#[test]
+fn geometric_is_at_least_one() {
+    let mut gen = DetRng::new(0xF00D, 0);
+    for case in 0..64 {
+        let p = gen.range(1, 1000) as f64 / 1000.0;
+        let mut rng = DetRng::new(gen.next_u64(), 2);
         for _ in 0..100 {
-            prop_assert!(rng.geometric(p) >= 1);
+            assert!(rng.geometric(p) >= 1, "case {case}: p={p}");
         }
     }
+}
 
-    #[test]
-    fn det_rng_streams_are_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+#[test]
+fn det_rng_streams_are_reproducible() {
+    let mut gen = DetRng::new(0x5EED, 0);
+    for _ in 0..64 {
+        let (seed, stream) = (gen.next_u64(), gen.next_u64());
         let mut a = DetRng::new(seed, stream);
         let mut b = DetRng::new(seed, stream);
         for _ in 0..32 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 }

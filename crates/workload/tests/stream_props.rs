@@ -1,70 +1,74 @@
 //! Property tests for workload stream invariants.
+//!
+//! Deterministic property testing: cases are generated from a
+//! fixed-seed [`DetRng`], so failures reproduce exactly (the build is
+//! offline; no proptest).
 
-use proptest::prelude::*;
-
-use mmm_types::{VcpuId, VmId};
+use mmm_types::{DetRng, VcpuId, VmId};
 use mmm_workload::{AddressLayout, Benchmark, OpStream, Privilege};
 
-fn any_benchmark() -> impl Strategy<Value = Benchmark> {
-    prop_oneof![
-        Just(Benchmark::Apache),
-        Just(Benchmark::Oltp),
-        Just(Benchmark::Pgoltp),
-        Just(Benchmark::Pmake),
-        Just(Benchmark::Pgbench),
-        Just(Benchmark::Zeus),
-        Just(Benchmark::SpecLike),
-    ]
+fn benchmark_of(rng: &mut DetRng) -> Benchmark {
+    let all = Benchmark::all();
+    all[rng.below(all.len() as u64) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn streams_are_vm_contained_and_deterministic(
-        bench in any_benchmark(),
-        vm in 0u16..4,
-        vcpu in 0u16..16,
-        seed in any::<u64>()
-    ) {
-        let layout = AddressLayout::new();
+#[test]
+fn streams_are_vm_contained_and_deterministic() {
+    let mut gen = DetRng::new(0x57EA, 0);
+    let layout = AddressLayout::new();
+    for case in 0..32 {
+        let bench = benchmark_of(&mut gen);
+        let vm = gen.below(4) as u16;
+        let vcpu = gen.below(16) as u16;
+        let seed = gen.next_u64();
         let mut a = OpStream::new(bench.profile(), VmId(vm), VcpuId(vcpu), seed);
         let mut b = OpStream::new(bench.profile(), VmId(vm), VcpuId(vcpu), seed);
         for _ in 0..2_000 {
             let (x, y) = (a.next_op(), b.next_op());
-            prop_assert_eq!(x, y, "same seed, same stream");
+            assert_eq!(x, y, "case {case}: same seed, same stream");
             if let Some(addr) = x.data_addr {
-                prop_assert_eq!(layout.vm_of(addr), Some(VmId(vm)));
+                assert_eq!(layout.vm_of(addr), Some(VmId(vm)), "case {case}");
             }
-            prop_assert_eq!(layout.vm_of(x.fetch_addr), Some(VmId(vm)));
+            assert_eq!(layout.vm_of(x.fetch_addr), Some(VmId(vm)), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn privilege_matches_phase_markers(bench in any_benchmark(), seed in any::<u64>()) {
+#[test]
+fn privilege_matches_phase_markers() {
+    let mut gen = DetRng::new(0x57EB, 0);
+    for case in 0..8 {
+        let bench = benchmark_of(&mut gen);
+        let seed = gen.next_u64();
         let mut s = OpStream::new(bench.profile(), VmId(0), VcpuId(0), seed);
         let mut privilege = s.privilege();
         for _ in 0..20_000 {
             let op = s.next_op();
             if op.enters_os {
-                prop_assert_eq!(op.privilege, Privilege::Os);
-                prop_assert!(op.is_serializing(), "OS entry is a trap");
+                assert_eq!(op.privilege, Privilege::Os, "case {case}");
+                assert!(op.is_serializing(), "case {case}: OS entry is a trap");
                 privilege = Privilege::Os;
             } else if op.exits_os {
-                prop_assert_eq!(op.privilege, Privilege::User);
-                prop_assert!(op.is_serializing(), "return-from-trap serializes");
+                assert_eq!(op.privilege, Privilege::User, "case {case}");
+                assert!(
+                    op.is_serializing(),
+                    "case {case}: return-from-trap serializes"
+                );
                 privilege = Privilege::User;
             } else {
-                prop_assert_eq!(op.privilege, privilege, "privilege only changes at markers");
+                assert_eq!(
+                    op.privilege, privilege,
+                    "case {case}: privilege only changes at markers"
+                );
             }
             // Structural sanity.
             match op.class {
                 mmm_workload::OpClass::Load | mmm_workload::OpClass::Store => {
-                    prop_assert!(op.data_addr.is_some());
+                    assert!(op.data_addr.is_some(), "case {case}");
                 }
-                _ => prop_assert!(op.data_addr.is_none()),
+                _ => assert!(op.data_addr.is_none(), "case {case}"),
             }
-            prop_assert!(op.exec_latency >= 1);
+            assert!(op.exec_latency >= 1, "case {case}");
         }
     }
 }

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate the harness bins' machine-readable exports.
+
+Two modes:
+
+* ``validate_trace.py`` (no args) — reads JSONL report lines from
+  stdin (the output of ``<bin> --json``) and checks every line is a
+  well-formed report object with the expected top-level keys and a
+  sane metrics registry.
+* ``validate_trace.py trace <file>`` — checks a ``*.trace.json`` file
+  is a well-formed Chrome trace-event document that Perfetto will
+  load: a ``traceEvents`` array whose entries carry the mandatory
+  ``ph``/``pid``/``ts`` fields, with at least one per-core mode slice.
+
+Exits non-zero (failing CI) on any malformed input. Uses only the
+Python standard library.
+"""
+
+import json
+import sys
+
+REPORT_KEYS = {"config", "benchmark", "cycles", "vcpus", "metrics"}
+METRIC_SECTIONS = {"counters", "gauges", "histograms", "stats"}
+
+
+def fail(msg: str) -> None:
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_report_line(n: int, line: str) -> None:
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as e:
+        fail(f"line {n}: not valid JSON: {e}")
+    if not isinstance(obj, dict):
+        fail(f"line {n}: expected an object, got {type(obj).__name__}")
+    missing = REPORT_KEYS - obj.keys()
+    if missing:
+        fail(f"line {n}: missing keys {sorted(missing)}")
+    if not isinstance(obj["cycles"], int) or obj["cycles"] <= 0:
+        fail(f"line {n}: cycles must be a positive integer")
+    if not isinstance(obj["vcpus"], list) or not obj["vcpus"]:
+        fail(f"line {n}: vcpus must be a non-empty array")
+    for v in obj["vcpus"]:
+        if not {"vcpu", "vm", "user_commits"} <= v.keys():
+            fail(f"line {n}: malformed vcpu entry {v}")
+    metrics = obj["metrics"]
+    missing = METRIC_SECTIONS - metrics.keys()
+    if missing:
+        fail(f"line {n}: metrics missing sections {sorted(missing)}")
+    counters = metrics["counters"]
+    if counters.get("run.cycles") != obj["cycles"]:
+        fail(f"line {n}: metrics counter run.cycles disagrees with cycles")
+    if any(not isinstance(c, int) or c < 0 for c in counters.values()):
+        fail(f"line {n}: counters must be non-negative integers")
+
+
+def validate_jsonl_stdin() -> None:
+    n = 0
+    for raw in sys.stdin:
+        line = raw.strip()
+        if not line:
+            continue
+        n += 1
+        validate_report_line(n, line)
+    if n == 0:
+        fail("no report lines on stdin (did the bin run with --json?)")
+    print(f"validate_trace: OK: {n} report line(s)")
+
+
+def validate_trace_file(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty array")
+    mode_slices = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"{path}: traceEvents[{i}] is not an object")
+        if "ph" not in ev or "pid" not in ev:
+            fail(f"{path}: traceEvents[{i}] missing ph/pid")
+        if ev["ph"] != "M" and "ts" not in ev:
+            fail(f"{path}: traceEvents[{i}] missing ts")
+        if ev["ph"] == "X":
+            if not isinstance(ev.get("dur"), int) or ev["dur"] < 0:
+                fail(f"{path}: traceEvents[{i}] X-slice needs integer dur")
+            # Mode slices live on even tids (see mmm-trace's chrome.rs).
+            if ev.get("tid", 1) % 2 == 0:
+                mode_slices += 1
+    if mode_slices == 0:
+        fail(f"{path}: no per-core mode slices found")
+    print(f"validate_trace: OK: {len(events)} trace events, {mode_slices} mode slice(s)")
+
+
+def main() -> None:
+    if len(sys.argv) == 1:
+        validate_jsonl_stdin()
+    elif len(sys.argv) == 3 and sys.argv[1] == "trace":
+        validate_trace_file(sys.argv[2])
+    else:
+        fail(f"usage: {sys.argv[0]} [trace <file.trace.json>]")
+
+
+if __name__ == "__main__":
+    main()

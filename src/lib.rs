@@ -43,6 +43,10 @@ pub use mmm_reunion as reunion;
 /// full-system simulator.
 pub use mmm_core as mmm;
 
+/// Observability: cycle-stamped event tracing, the metrics registry,
+/// and the JSON / Chrome trace-event exporters.
+pub use mmm_trace as trace;
+
 /// The names most applications need.
 pub mod prelude {
     pub use mmm_types::{config::Consistency, CoreId, Cycle, DetRng, SystemConfig, VcpuId, VmId};

@@ -50,7 +50,7 @@ fn golden_no_dmr_2x_oltp() {
             400_000,
             3_000_000,
         ),
-        (1_586_341, 334_262),
+        (1_774_489, 245_282),
     );
 }
 
@@ -65,7 +65,7 @@ fn golden_reunion_apache() {
             400_000,
             3_000_000,
         ),
-        (387_718, 305_212),
+        (395_359, 309_219),
     );
 }
 
@@ -83,7 +83,7 @@ fn golden_mmm_tp_pmake() {
             500_000,
             150_000,
         ),
-        (2_377_618, 31_023),
+        (2_021_074, 198_726),
     );
 }
 
@@ -98,7 +98,7 @@ fn golden_single_os_zeus() {
             400_000,
             3_000_000,
         ),
-        (129_622, 429_347),
+        (258_596, 384_655),
     );
 }
 
@@ -117,6 +117,6 @@ fn golden_overcommit_pgoltp() {
             400_000,
             200_000,
         ),
-        (1_576_758, 62_991),
+        (1_350_006, 174_326),
     );
 }

@@ -35,8 +35,10 @@ fn pab_blocks_wild_stores_aimed_at_reliable_memory() {
     let mut cfg = SystemConfig::default();
     cfg.virt.timeslice_cycles = 150_000;
     let mut sys = System::new(&cfg, consolidated(MixedPolicy::MmmTp), 2).unwrap();
-    sys.enable_fault_injection(8e-6, 7);
-    let r = sys.run_measured(50_000, 1_200_000);
+    // Reliable pages are ~5% of the wild-target space, so the rate and
+    // horizon must yield enough wild stores for a hit to be certain.
+    sys.enable_fault_injection(2e-5, 7);
+    let r = sys.run_measured(50_000, 1_500_000);
     assert!(
         r.faults.wild_stores_blocked > 0,
         "some wild stores must target reliable pages: {:?}",
