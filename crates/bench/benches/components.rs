@@ -83,7 +83,7 @@ fn bench_fingerprint_channel() {
 
 fn bench_pab_check() {
     let cfg = SystemConfig::default();
-    let mut pab = Pab::new(cfg.pab);
+    let pab = std::cell::RefCell::new(Pab::new(cfg.pab));
     let pat = Pat::new();
     let mut mem = MemorySystem::new(&cfg);
     let mut i = 0u64;
@@ -91,7 +91,14 @@ fn bench_pab_check() {
         i = i.wrapping_add(1);
         // Mostly hits: 64 hot page groups.
         let line = LineAddr((i % 64) * 8192);
-        black_box(pab.check_store(CoreId(0), line, &pat, &mut mem, i));
+        black_box(mmm_core::check_store(
+            &pab,
+            CoreId(0),
+            line,
+            &pat,
+            &mut mem,
+            i,
+        ));
     });
 }
 

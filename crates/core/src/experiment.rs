@@ -12,7 +12,12 @@
 //! * `MMM_WARMUP` — warm-up cycles per run (default 100 000);
 //! * `MMM_MEASURE` — measured cycles per run (default 400 000;
 //!   the paper used 100 M on a machine-room simulator);
-//! * `MMM_SEEDS` — number of seeds (default 3).
+//! * `MMM_SEEDS` — number of seeds (default 3);
+//! * `MMM_THREADS` — worker threads for [`Experiment::run_many`]
+//!   (default: available parallelism). Reports are bit-identical at
+//!   any thread count — each run is a sealed deterministic simulation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mmm_types::stats::mean_ci95;
 use mmm_types::{Result, SystemConfig};
@@ -99,37 +104,65 @@ impl Experiment {
         Ok(RunResult { workload, reports })
     }
 
-    /// Runs many workloads, one OS thread per `(workload, seed)` pair,
-    /// bounded by available parallelism.
+    /// Runs many workloads across a fixed pool of worker threads.
+    ///
+    /// Each `(workload, seed)` pair is one job on a shared atomic
+    /// work-queue: workers claim the next job index with a
+    /// `fetch_add`, so a long run never strands the rest of a batch
+    /// behind it (the old implementation dispatched in fixed-size
+    /// chunks and barriered between chunks). The pool size defaults to
+    /// available parallelism and is overridable with `MMM_THREADS`;
+    /// results are slotted by job index, so the output — like every
+    /// simulated run — is independent of the thread count.
     pub fn run_many(&self, workloads: &[Workload]) -> Result<Vec<RunResult>> {
-        let jobs: Vec<(usize, Workload, u64)> = workloads
-            .iter()
-            .enumerate()
-            .flat_map(|(i, &w)| self.seeds.iter().map(move |&s| (i, w, s)))
-            .collect();
-        let max_threads = std::thread::available_parallelism()
+        let default_threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
+        let threads = env_u64("MMM_THREADS", default_threads as u64).max(1) as usize;
+        self.run_many_on(workloads, threads)
+    }
+
+    /// [`Experiment::run_many`] with an explicit worker-thread count
+    /// (bypassing the `MMM_THREADS` lookup).
+    pub fn run_many_on(&self, workloads: &[Workload], threads: usize) -> Result<Vec<RunResult>> {
+        let jobs: Vec<(usize, usize, Workload, u64)> = workloads
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &w)| {
+                self.seeds
+                    .iter()
+                    .enumerate()
+                    .map(move |(j, &s)| (i, j, w, s))
+            })
+            .collect();
+        let threads = threads.max(1).min(jobs.len().max(1));
+        let next = AtomicUsize::new(0);
+        let outputs: Vec<(usize, usize, Result<SystemReport>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (next, jobs) = (&next, &jobs);
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(i, j, w, s)) = jobs.get(k) else {
+                                break;
+                            };
+                            done.push((i, j, self.run_one(w, s)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("experiment thread panicked"))
+                .collect()
+        });
         let mut results: Vec<Vec<Option<SystemReport>>> =
             vec![vec![None; self.seeds.len()]; workloads.len()];
-        for chunk in jobs.chunks(max_threads) {
-            let outputs = std::thread::scope(|scope| {
-                let handles: Vec<_> = chunk
-                    .iter()
-                    .map(|&(i, w, s)| {
-                        let me = self.clone();
-                        scope.spawn(move || (i, s, me.run_one(w, s)))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("experiment thread panicked"))
-                    .collect::<Vec<_>>()
-            });
-            for (i, s, report) in outputs {
-                let seed_idx = self.seeds.iter().position(|&x| x == s).expect("seed known");
-                results[i][seed_idx] = Some(report?);
-            }
+        for (i, j, report) in outputs {
+            results[i][j] = Some(report?);
         }
         Ok(workloads
             .iter()
@@ -215,6 +248,24 @@ mod tests {
             par.reports[0].total_user_commits(),
             "parallel execution must be bit-identical"
         );
+    }
+
+    #[test]
+    fn work_queue_is_thread_count_independent() {
+        let e = tiny();
+        let wls = [
+            Workload::NoDmr(Benchmark::Pmake),
+            Workload::NoDmr(Benchmark::Oltp),
+        ];
+        let one = e.run_many_on(&wls, 1).unwrap();
+        let many = e.run_many_on(&wls, 3).unwrap();
+        for (a, b) in one.iter().zip(&many) {
+            assert_eq!(a.reports.len(), b.reports.len());
+            for (ra, rb) in a.reports.iter().zip(&b.reports) {
+                assert_eq!(ra.total_user_commits(), rb.total_user_commits());
+                assert_eq!(ra.cycles, rb.cycles);
+            }
+        }
     }
 
     #[test]

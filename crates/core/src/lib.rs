@@ -46,7 +46,7 @@ pub mod vcpu;
 pub use experiment::{Experiment, RunResult};
 pub use fault::{FaultInjector, FaultSite, FaultStats};
 pub use mode::RelMode;
-pub use pab::{Pab, PabStats, PabVerdict};
+pub use pab::{check_store, Pab, PabStats, PabVerdict};
 pub use pat::Pat;
 pub use sched::{MixedPolicy, VcpuSpec, Workload};
 pub use system::{System, SystemReport, VcpuSlice};

@@ -1,27 +1,22 @@
-//! The Protection Assistance Buffer (paper §3.4.1, Figure 3).
+//! Protection Assistance Buffer — the system-software side.
 //!
-//! A small per-core hardware structure "organized much like a cache,
-//! with a physically tagged and indexed array containing 64 Bytes (one
-//! cache-line worth) of PAT entries" per entry. With 128 entries it
-//! holds 8.2 KB and maps 512 MB of physical memory.
-//!
-//! When a core runs in performance mode, every store write-through is
-//! re-validated against the PAB before (serial) or in parallel with
-//! its L2 access, providing redundancy for the TLB's permission check:
-//! a fault in the TLB array, checking logic, or privileged registers
-//! can no longer silently corrupt reliable applications' memory. In
-//! reliable mode the PAB is not used. A PAB miss fetches the covering
-//! PAT line through the normal cache hierarchy. On a TLB demap, the
-//! TLB sends the demapped physical page to the PAB, which invalidates
-//! the corresponding entry.
+//! The PAB array and its timing model live in `mmm-cpu` (see
+//! [`mmm_cpu::pab`]): it is per-core hardware, addressed by PAT
+//! backing lines, and is wired into the store write-through path as
+//! the concrete [`mmm_cpu::Filter::Pab`] variant. What remains here is
+//! everything that needs the [`Pat`]: translating a stored-to page to
+//! its backing line and reading the permission bit — i.e. the actual
+//! verdict. The in-pipeline filter path never needs the verdict
+//! (fault-free software only stores to pages it owns); only the fault
+//! injector, which models wild stores, checks permissions via
+//! [`check_store`].
 
 use std::cell::RefCell;
-use std::rc::Rc;
 
-use mmm_cpu::StoreFilter;
-use mmm_mem::{CacheLine, MemorySystem, Mosi, SetAssocCache};
-use mmm_types::config::{CacheGeometry, PabConfig, PabLookup};
-use mmm_types::{CoreId, Cycle, LineAddr, PageAddr};
+use mmm_mem::MemorySystem;
+use mmm_types::{CoreId, Cycle, LineAddr};
+
+pub use mmm_cpu::{Pab, PabStats};
 
 use crate::pat::Pat;
 
@@ -35,243 +30,93 @@ pub enum PabVerdict {
     Violation,
 }
 
-/// Counters accumulated by one PAB.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PabStats {
-    /// Permission checks performed.
-    pub lookups: u64,
-    /// Checks satisfied from the PAB array.
-    pub hits: u64,
-    /// Checks that fetched a PAT line through the hierarchy.
-    pub misses: u64,
-    /// Stores blocked because they targeted a reliable-only page.
-    pub violations: u64,
-    /// Entries invalidated by TLB demaps.
-    pub demap_invalidations: u64,
-}
-
-/// One core's Protection Assistance Buffer.
-#[derive(Debug)]
-pub struct Pab {
-    entries: SetAssocCache,
-    cfg: PabConfig,
-    stats: PabStats,
-}
-
-impl Pab {
-    /// Builds a PAB from its configuration (default: 128 entries,
-    /// 8-way).
-    pub fn new(cfg: PabConfig) -> Self {
-        let geom = CacheGeometry::new(cfg.entries as u64 * 64, cfg.associativity)
-            .expect("PAB geometry validated by SystemConfig");
-        Self {
-            entries: SetAssocCache::new(geom),
-            cfg,
-            stats: PabStats::default(),
-        }
-    }
-
-    /// Counters.
-    pub fn stats(&self) -> PabStats {
-        self.stats
-    }
-
-    /// Resets counters (after warm-up) without touching the array.
-    pub fn reset_stats(&mut self) {
-        self.stats = PabStats::default();
-    }
-
-    /// Checks the permission of a store to `line` issued by `core` in
-    /// performance mode. Returns the cycle at which the store may
-    /// proceed to the L2 and the verdict.
-    ///
-    /// Timing: a parallel-lookup hit is free (the PAB races the L2
-    /// tags); a serial lookup adds `serial_latency` to every store; a
-    /// miss additionally fetches the covering PAT line through the
-    /// hierarchy before the store may proceed.
-    pub fn check_store(
-        &mut self,
-        core: CoreId,
-        line: LineAddr,
-        pat: &Pat,
-        mem: &mut MemorySystem,
-        now: Cycle,
-    ) -> (Cycle, PabVerdict) {
-        self.stats.lookups += 1;
-        let page = line.page();
-        let backing = pat.backing_line(page);
-        let serial_extra = match self.cfg.lookup {
-            PabLookup::Parallel => 0,
-            PabLookup::Serial => self.cfg.serial_latency,
-        } as Cycle;
-        let ready_at = if self.entries.lookup(backing).is_some() {
-            self.stats.hits += 1;
-            now + serial_extra
-        } else {
-            self.stats.misses += 1;
-            // Fetch the PAT line like any cacheable data.
-            let acc = mem.load(core, backing, true, now);
-            self.entries.insert(CacheLine {
-                addr: backing,
-                state: Mosi::Shared,
-                version: acc.version,
-                coherent: true,
-            });
-            acc.complete_at + serial_extra
-        };
-        let verdict = if pat.is_reliable(page) {
-            self.stats.violations += 1;
-            PabVerdict::Violation
-        } else {
-            PabVerdict::Allowed
-        };
-        (ready_at, verdict)
-    }
-
-    /// Handles a TLB demap: invalidates the entry covering `page`.
-    /// (Conservative: the whole 512-page line's entry is dropped.)
-    pub fn on_demap(&mut self, page: PageAddr, pat: &Pat) {
-        if self.entries.invalidate(pat.backing_line(page)).is_some() {
-            self.stats.demap_invalidations += 1;
-        }
-    }
-
-    /// Drops all entries (PAT rewritten wholesale, e.g. VM
-    /// reassignment).
-    pub fn invalidate_all(&mut self) {
-        self.entries.clear();
-    }
-
-    /// Resident entries (diagnostics).
-    pub fn occupancy(&self) -> usize {
-        self.entries.occupancy()
-    }
-}
-
-/// The [`StoreFilter`] a performance-mode core is fitted with: routes
-/// every store write-through past the core's PAB.
-///
-/// Fault-free software only stores to pages it owns, so in-pipeline
-/// verdicts are always [`PabVerdict::Allowed`]; wild stores from
-/// injected faults go through [`Pab::check_store`] directly in the
-/// fault injector, where a violation blocks the write. Violations
-/// observed here (which would indicate a workload-generator bug) are
-/// debug-asserted.
-pub struct PabFilter {
-    /// This core's PAB.
-    pub pab: Rc<RefCell<Pab>>,
-    /// The machine's PAT.
-    pub pat: Rc<RefCell<Pat>>,
-}
-
-impl StoreFilter for PabFilter {
-    fn check(&mut self, core: CoreId, line: LineAddr, now: Cycle, mem: &mut MemorySystem) -> Cycle {
-        let pat = self.pat.borrow();
-        let (ready_at, verdict) = self
-            .pab
-            .borrow_mut()
-            .check_store(core, line, &pat, mem, now);
-        debug_assert_eq!(
-            verdict,
-            PabVerdict::Allowed,
-            "fault-free software never stores to reliable-only pages"
-        );
-        ready_at
-    }
+/// Checks the permission of a store to `line` issued by `core` in
+/// performance mode: the PAB lookup timing plus the PAT permission
+/// bit. Returns the cycle at which the store may proceed to the L2
+/// and the verdict.
+pub fn check_store(
+    pab: &RefCell<Pab>,
+    core: CoreId,
+    line: LineAddr,
+    pat: &Pat,
+    mem: &mut MemorySystem,
+    now: Cycle,
+) -> (Cycle, PabVerdict) {
+    let page = line.page();
+    let backing = pat.backing_line(page);
+    let ready_at = pab.borrow_mut().filter_store(core, backing, mem, now);
+    let verdict = if pat.is_reliable(page) {
+        pab.borrow_mut().record_violation();
+        PabVerdict::Violation
+    } else {
+        PabVerdict::Allowed
+    };
+    (ready_at, verdict)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmm_types::SystemConfig;
+    use mmm_types::{PageAddr, SystemConfig};
 
-    fn setup() -> (Pab, Pat, MemorySystem) {
+    fn setup() -> (RefCell<Pab>, Pat, MemorySystem) {
         let cfg = SystemConfig::default();
-        (Pab::new(cfg.pab), Pat::new(), MemorySystem::new(&cfg))
+        (
+            RefCell::new(Pab::new(cfg.pab)),
+            Pat::new(),
+            MemorySystem::new(&cfg),
+        )
     }
 
     const CORE: CoreId = CoreId(0);
 
     #[test]
     fn miss_then_hit_with_parallel_lookup_is_free_on_hit() {
-        let (mut pab, pat, mut mem) = setup();
+        let (pab, pat, mut mem) = setup();
         let line = LineAddr(0x8000);
-        let (t1, v1) = pab.check_store(CORE, line, &pat, &mut mem, 100);
+        let (t1, v1) = check_store(&pab, CORE, line, &pat, &mut mem, 100);
         assert_eq!(v1, PabVerdict::Allowed);
         assert!(t1 > 100, "miss fetches the PAT line");
-        let (t2, v2) = pab.check_store(CORE, line, &pat, &mut mem, t1);
+        let (t2, v2) = check_store(&pab, CORE, line, &pat, &mut mem, t1);
         assert_eq!(v2, PabVerdict::Allowed);
         assert_eq!(t2, t1, "parallel hit adds no latency");
-        assert_eq!(pab.stats().hits, 1);
-        assert_eq!(pab.stats().misses, 1);
-    }
-
-    #[test]
-    fn serial_lookup_costs_two_cycles_per_store() {
-        let cfg = SystemConfig::default();
-        let mut pab_cfg = cfg.pab;
-        pab_cfg.lookup = PabLookup::Serial;
-        let mut pab = Pab::new(pab_cfg);
-        let pat = Pat::new();
-        let mut mem = MemorySystem::new(&cfg);
-        let line = LineAddr(0x8000);
-        let (t1, _) = pab.check_store(CORE, line, &pat, &mut mem, 0);
-        let (t2, _) = pab.check_store(CORE, line, &pat, &mut mem, t1);
-        assert_eq!(t2, t1 + 2, "serial hit costs the PAB latency");
+        assert_eq!(pab.borrow().stats().hits, 1);
+        assert_eq!(pab.borrow().stats().misses, 1);
     }
 
     #[test]
     fn violation_is_flagged_for_reliable_pages() {
-        let (mut pab, mut pat, mut mem) = setup();
+        let (pab, mut pat, mut mem) = setup();
         let line = LineAddr(0x8000);
         pat.set_reliable(line.page(), true);
-        let (_, v) = pab.check_store(CORE, line, &pat, &mut mem, 0);
+        let (_, v) = check_store(&pab, CORE, line, &pat, &mut mem, 0);
         assert_eq!(v, PabVerdict::Violation);
-        assert_eq!(pab.stats().violations, 1);
+        assert_eq!(pab.borrow().stats().violations, 1);
     }
 
     #[test]
     fn one_entry_covers_512_pages() {
-        let (mut pab, pat, mut mem) = setup();
+        let (pab, pat, mut mem) = setup();
         // Two pages in the same 512-page group share a PAT line.
         let a = PageAddr(100).first_line();
         let b = PageAddr(200).first_line();
-        pab.check_store(CORE, a, &pat, &mut mem, 0);
-        let (_, _) = pab.check_store(CORE, b, &pat, &mut mem, 1000);
-        assert_eq!(pab.stats().misses, 1);
-        assert_eq!(pab.stats().hits, 1);
+        check_store(&pab, CORE, a, &pat, &mut mem, 0);
+        check_store(&pab, CORE, b, &pat, &mut mem, 1000);
+        assert_eq!(pab.borrow().stats().misses, 1);
+        assert_eq!(pab.borrow().stats().hits, 1);
     }
 
     #[test]
     fn demap_invalidates_covering_entry() {
-        let (mut pab, pat, mut mem) = setup();
+        let (pab, pat, mut mem) = setup();
         let page = PageAddr(100);
-        pab.check_store(CORE, page.first_line(), &pat, &mut mem, 0);
-        assert_eq!(pab.occupancy(), 1);
-        pab.on_demap(page, &pat);
-        assert_eq!(pab.occupancy(), 0);
-        assert_eq!(pab.stats().demap_invalidations, 1);
+        check_store(&pab, CORE, page.first_line(), &pat, &mut mem, 0);
+        assert_eq!(pab.borrow().occupancy(), 1);
+        pab.borrow_mut().on_demap(pat.backing_line(page));
+        assert_eq!(pab.borrow().occupancy(), 0);
+        assert_eq!(pab.borrow().stats().demap_invalidations, 1);
         // Next check misses again.
-        pab.check_store(CORE, page.first_line(), &pat, &mut mem, 5000);
-        assert_eq!(pab.stats().misses, 2);
-    }
-
-    #[test]
-    fn pab_capacity_is_bounded() {
-        let (mut pab, pat, mut mem) = setup();
-        // Touch far more than 128 distinct page groups.
-        for g in 0..500u64 {
-            let line = PageAddr(g * 512).first_line();
-            pab.check_store(CORE, line, &pat, &mut mem, g * 1000);
-        }
-        assert!(pab.occupancy() <= 128);
-    }
-
-    #[test]
-    fn invalidate_all_clears() {
-        let (mut pab, pat, mut mem) = setup();
-        pab.check_store(CORE, LineAddr(0x8000), &pat, &mut mem, 0);
-        pab.invalidate_all();
-        assert_eq!(pab.occupancy(), 0);
+        check_store(&pab, CORE, page.first_line(), &pat, &mut mem, 5000);
+        assert_eq!(pab.borrow().stats().misses, 2);
     }
 }

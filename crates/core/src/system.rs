@@ -10,7 +10,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use mmm_cpu::{Boundary, Core, CoreStats, ExecContext, PhaseTracker};
+use mmm_cpu::{Boundary, Core, CoreStats, ExecContext, Filter, PabPort, PhaseTracker};
 use mmm_mem::request::store_token;
 use mmm_mem::{MemStats, MemorySystem};
 use mmm_reunion::{DmrPair, PairStats};
@@ -22,7 +22,7 @@ use mmm_workload::{AddressLayout, OpStream};
 
 use crate::fault::{FaultInjector, FaultSite, FaultStats};
 use crate::mode::RelMode;
-use crate::pab::{Pab, PabFilter, PabStats};
+use crate::pab::{Pab, PabStats};
 use crate::pat::Pat;
 use crate::sched::{MixedPolicy, Workload};
 use crate::transition::{TransitionEngine, TransitionStats};
@@ -73,6 +73,10 @@ pub struct SystemReport {
     /// Full user/OS phase-duration distributions (merged across
     /// cores).
     pub phases: PhaseTracker,
+    /// Wall-clock seconds spent simulating the measured period, or
+    /// 0.0 when the run was not timed. Host-dependent: excluded from
+    /// determinism comparisons and from the JSON export unless set.
+    pub wall_seconds: f64,
 }
 
 impl SystemReport {
@@ -250,6 +254,12 @@ impl SystemReport {
         m.merge_histogram("phase.user_cycles", &self.phases.user);
         m.merge_histogram("phase.os_cycles", &self.phases.os);
 
+        if self.wall_seconds > 0.0 {
+            m.gauge(
+                "run.sim_cycles_per_sec",
+                self.cycles as f64 / self.wall_seconds,
+            );
+        }
         m.gauge("run.avg_user_ipc", self.avg_user_ipc());
         m.gauge("run.dmr_coverage", self.dmr_coverage());
         m.gauge("run.si_stall_fraction", self.si_stall_fraction());
@@ -260,9 +270,11 @@ impl SystemReport {
         m
     }
 
-    /// The whole report as one JSON object (one JSONL line), stable
-    /// across runs with the same seed: identity fields, per-VCPU
-    /// commits, and the flat metrics registry.
+    /// The whole report as one JSON object (one JSONL line): identity
+    /// fields, per-VCPU commits, and the flat metrics registry. Stable
+    /// across runs with the same seed except `run.sim_cycles_per_sec`,
+    /// the wall-clock throughput gauge (host-dependent by design;
+    /// absent when the run was not timed).
     pub fn to_json(&self) -> String {
         let vcpus = Json::Arr(
             self.vcpus
@@ -515,12 +527,12 @@ impl System {
         c.set_coherent(true);
         c.set_gate(None);
         c.set_store_filter(if with_pab {
-            Some(Box::new(PabFilter {
-                pab: Rc::clone(&self.pabs[core.index()]),
-                pat: Rc::clone(&self.pat),
-            }))
+            Filter::Pab(PabPort::new(
+                Rc::clone(&self.pabs[core.index()]),
+                self.layout,
+            ))
         } else {
-            None
+            Filter::None
         });
         c.stall_until(ready_at);
         let i = self.vcpu_index(vcpu);
@@ -543,8 +555,8 @@ impl System {
         let (left, right) = self.cores.split_at_mut(mc);
         let vocal = &mut left[vc];
         let mute = &mut right[0];
-        vocal.set_store_filter(None);
-        mute.set_store_filter(None);
+        vocal.set_store_filter(Filter::None);
+        mute.set_store_filter(Filter::None);
         let mut pair = DmrPair::couple(vocal, mute, ctx, &self.cfg.reunion);
         pair.set_tracer(self.tracer.clone());
         vocal.stall_until(ready_at);
@@ -597,7 +609,7 @@ impl System {
         let ctx = self.cores[core.index()]
             .take_context(now)
             .expect("core is busy");
-        self.cores[core.index()].set_store_filter(None);
+        self.cores[core.index()].set_store_filter(Filter::None);
         let vcpu = self
             .vcpus
             .iter()
@@ -1137,7 +1149,8 @@ impl System {
                 let page = PageAddr(inj.draw_wild_page(max_page));
                 let line = page.first_line();
                 let pat = self.pat.borrow();
-                let (ready, verdict) = self.pabs[core.index()].borrow_mut().check_store(
+                let (ready, verdict) = crate::pab::check_store(
+                    &self.pabs[core.index()],
                     core,
                     line,
                     &pat,
@@ -1191,19 +1204,61 @@ impl System {
                 self.apply_fault(core, site, now);
             }
         }
+        let mut min_wake = Cycle::MAX;
         for c in &mut self.cores {
+            // Cores that proved themselves blocked (or idle) until a
+            // future cycle are skipped entirely; they settle their
+            // skipped-cycle counters when they next run.
+            let hint = c.wake_hint();
+            if now < hint {
+                min_wake = min_wake.min(hint);
+                continue;
+            }
             c.tick(now, &mut self.mem);
+            min_wake = min_wake.min(c.wake_hint());
         }
         for pair in self.pairs.iter().flatten() {
             pair.service(&mut self.mem);
         }
-        self.cycle += 1;
+        self.cycle = self.fast_forward(now, min_wake);
+    }
+
+    /// The next cycle the machine must actually simulate: `now + 1`,
+    /// or later when every core is provably asleep beyond it and no
+    /// scheduler event falls in between. Ticks inside the jumped span
+    /// would run zero cores and service nothing — each core settles
+    /// its skipped-cycle counters itself, so the reports are identical
+    /// either way.
+    fn fast_forward(&self, now: Cycle, min_wake: Cycle) -> Cycle {
+        if min_wake <= now + 1 {
+            return now + 1;
+        }
+        // Fault injection and the single-OS trap poll inspect the
+        // machine every cycle; never jump over them.
+        if self.injector.is_some() || matches!(self.workload, Workload::SingleOsMixed(_)) {
+            return now + 1;
+        }
+        // Gang and overcommit scheduling act at timeslice boundaries.
+        let cap = match self.workload {
+            Workload::Consolidated { .. } | Workload::Overcommitted { .. } => self.next_slice,
+            _ => Cycle::MAX,
+        };
+        min_wake.min(cap).max(now + 1)
     }
 
     /// Runs for `cycles` cycles.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
+        let end = self.cycle + cycles;
+        while self.cycle < end {
             self.tick();
+        }
+        // A fast-forward may overshoot the run boundary; nothing
+        // happens in the overshot span, so resuming at `end` is exact.
+        self.cycle = end;
+        // Flush pending skipped-cycle charges so reports (and the
+        // warm-up reset) see fully settled counters.
+        for c in &mut self.cores {
+            c.settle_to(self.cycle);
         }
     }
 
@@ -1240,8 +1295,12 @@ impl System {
     pub fn run_measured(&mut self, warmup: u64, measure: u64) -> SystemReport {
         self.run(warmup);
         self.reset_measurement();
+        let started = std::time::Instant::now();
         self.run(measure);
-        self.report(measure)
+        let wall = started.elapsed().as_secs_f64();
+        let mut report = self.report(measure);
+        report.wall_seconds = wall;
+        report
     }
 
     /// Builds the report over the last `cycles` measured cycles.
@@ -1303,6 +1362,7 @@ impl System {
             phase_user_mean: phases.mean_user_cycles(),
             phase_os_mean: phases.mean_os_cycles(),
             phases,
+            wall_seconds: 0.0,
         }
     }
 

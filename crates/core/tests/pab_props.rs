@@ -8,9 +8,10 @@
 //! fixed-seed [`DetRng`], so failures reproduce exactly (the build is
 //! offline; no proptest).
 
-use mmm_core::{Pab, PabVerdict, Pat};
+use mmm_core::{check_store, Pab, PabVerdict, Pat};
 use mmm_mem::MemorySystem;
 use mmm_types::{CoreId, DetRng, PageAddr, SystemConfig};
+use std::cell::RefCell;
 
 #[derive(Clone, Debug)]
 enum PatOp {
@@ -43,18 +44,19 @@ fn pab_verdicts_always_match_the_pat() {
         let cfg = SystemConfig::default();
         let mut mem = MemorySystem::new(&cfg);
         let mut pat = Pat::new();
-        let mut pab = Pab::new(cfg.pab);
+        let pab = RefCell::new(Pab::new(cfg.pab));
         let mut now = 0u64;
         for op in &ops {
             now += 11;
             match *op {
                 PatOp::SetAndDemap { page, reliable } => {
                     pat.set_reliable(PageAddr(page as u64), reliable);
-                    pab.on_demap(PageAddr(page as u64), &pat);
+                    pab.borrow_mut()
+                        .on_demap(pat.backing_line(PageAddr(page as u64)));
                 }
                 PatOp::Check { page } => {
                     let line = PageAddr(page as u64).first_line();
-                    let (ready, verdict) = pab.check_store(CoreId(0), line, &pat, &mut mem, now);
+                    let (ready, verdict) = check_store(&pab, CoreId(0), line, &pat, &mut mem, now);
                     assert!(ready >= now, "case {case}");
                     let expected = if pat.is_reliable(PageAddr(page as u64)) {
                         PabVerdict::Violation
@@ -64,10 +66,13 @@ fn pab_verdicts_always_match_the_pat() {
                     assert_eq!(verdict, expected, "case {case}");
                 }
             }
-            assert!(pab.occupancy() <= cfg.pab.entries as usize, "case {case}");
+            assert!(
+                pab.borrow().occupancy() <= cfg.pab.entries as usize,
+                "case {case}"
+            );
         }
         // Accounting: hits + misses == lookups.
-        let s = pab.stats();
+        let s = pab.borrow().stats();
         assert_eq!(s.hits + s.misses, s.lookups, "case {case}");
     }
 }

@@ -12,7 +12,9 @@
 //! sync-request round trip, and the mute's offending line is queued
 //! for healing (invalidate + refetch).
 
+use std::cell::Cell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use mmm_mem::VersionToken;
 use mmm_types::config::ReunionConfig;
@@ -58,8 +60,8 @@ struct OpRecord {
     compared: bool,
 }
 
-/// The exchange channel shared by the two [`crate::pair::DmrPair`]
-/// gates.
+/// The exchange channel shared by the two gates of a DMR pair
+/// (`mmm-reunion`'s `DmrPair`).
 #[derive(Debug)]
 pub struct PairChannel {
     cfg: ReunionConfig,
@@ -78,6 +80,11 @@ pub struct PairChannel {
     mismatches: Vec<(Cycle, &'static str)>,
     /// Inject a fault into the next compared instruction.
     pending_fault: bool,
+    /// Raised whenever a heal or mismatch is queued; shared with the
+    /// pair's per-cycle service hook so it can skip the drain (and the
+    /// channel borrow) on the vast majority of cycles, where nothing
+    /// is pending.
+    service_dirty: Rc<Cell<bool>>,
     stats: PairStats,
 }
 
@@ -95,6 +102,7 @@ impl PairChannel {
             heals: Vec::new(),
             mismatches: Vec::new(),
             pending_fault: false,
+            service_dirty: Rc::new(Cell::new(false)),
             stats: PairStats::default(),
         }
     }
@@ -116,9 +124,36 @@ impl PairChannel {
         self.pending_fault = true;
     }
 
+    /// Handle on the flag raised whenever this channel queues work
+    /// for the per-cycle service drain.
+    pub fn service_flag(&self) -> Rc<Cell<bool>> {
+        Rc::clone(&self.service_dirty)
+    }
+
     /// Takes the pending mute-heal requests.
     pub fn take_heals(&mut self) -> Vec<LineAddr> {
         std::mem::take(&mut self.heals)
+    }
+
+    /// Takes pending heals and mismatches in one call — the per-cycle
+    /// service hook's single-borrow drain.
+    #[allow(clippy::type_complexity)]
+    pub fn drain_service(&mut self) -> (Vec<LineAddr>, Vec<(Cycle, &'static str)>) {
+        (
+            std::mem::take(&mut self.heals),
+            std::mem::take(&mut self.mismatches),
+        )
+    }
+
+    /// Minimum cycles between a commit-gate poll that found the
+    /// partner's fingerprint missing and the earliest possible
+    /// release: the partner publishes at the earliest on the poll
+    /// cycle itself with execution completing at least one cycle
+    /// later, and the release adds the fingerprint exchange plus the
+    /// Check depth on top. Lets the gate skip re-polling without
+    /// changing any commit cycle.
+    pub fn none_poll_delay(&self) -> u32 {
+        1 + self.cfg.fingerprint_latency + self.cfg.check_stages
     }
 
     /// Takes the mismatches detected since the last drain, as
@@ -188,6 +223,7 @@ impl PairChannel {
         if !fault && !incoherent {
             return;
         }
+        self.service_dirty.set(true);
         // Detection happens when the later side's fingerprint arrives.
         let detect =
             rec.prefix_done[0].max(rec.prefix_done[1]) + self.cfg.fingerprint_latency as Cycle;
@@ -230,6 +266,39 @@ impl PairChannel {
         let release = rec.prefix_done[0].max(rec.prefix_done[1])
             + (self.cfg.fingerprint_latency + self.cfg.check_stages) as Cycle;
         Some(release.max(self.recovery_floor))
+    }
+
+    /// Largest seq in `[seq, seq + cap]` released at `now`, walking
+    /// fingerprint-block by fingerprint-block (every seq in one block
+    /// shares its release time — see [`PairChannel::commit_time`]),
+    /// or `None` when `seq` itself is not released. Agrees with
+    /// `commit_time(s, now) <= now` for every `s` in the returned
+    /// span.
+    pub fn released_through(&self, seq: u64, now: Cycle, cap: u64) -> Option<u64> {
+        let (Some(p0), Some(p1)) = (self.published[0], self.published[1]) else {
+            return None;
+        };
+        if p0 < seq || p1 < seq || seq < self.base_seq {
+            return None;
+        }
+        let interval = self.cfg.fingerprint_interval.max(1) as u64;
+        let lat = (self.cfg.fingerprint_latency + self.cfg.check_stages) as Cycle;
+        let p = p0.min(p1);
+        let mut granted = None;
+        let mut s = seq;
+        while s <= p && s - seq <= cap {
+            let block_end = (s / interval + 1) * interval - 1;
+            let upto = p.min(block_end);
+            let rec = &self.records[self.rec_index(upto)];
+            let release =
+                (rec.prefix_done[0].max(rec.prefix_done[1]) + lat).max(self.recovery_floor);
+            if release > now {
+                break;
+            }
+            granted = Some(upto);
+            s = upto + 1;
+        }
+        granted
     }
 
     /// Extra fetch stall after a serializing instruction commits: the

@@ -3,18 +3,112 @@
 //! An [`ExecContext`] is everything the chip's virtualization layer
 //! saves and restores when it moves a VCPU between cores (paper §3.5):
 //! the software thread's position in its instruction stream plus
-//! commit counters. In DMR mode the vocal and mute cores each hold a
-//! *clone* of the same context — the streams are deterministic, so two
-//! clones at the same position generate the identical instruction
-//! sequence, which is what makes redundant execution meaningful.
+//! commit counters. In DMR mode the vocal and mute cores each hold one
+//! side of an [`ExecContext::fork`] — both read the identical
+//! instruction sequence, which is what makes redundant execution
+//! meaningful.
+//!
+//! # Forked streams generate once
+//!
+//! The op streams are deterministic, so redundant execution *could*
+//! simply clone the generator and pay the full generation cost (ChaCha
+//! draws plus power-law address sampling) twice per instruction — what
+//! the original implementation did, and the simulator's single largest
+//! cost. A fork instead shares one generator behind a small replay
+//! buffer: whichever side is ahead generates an op once, the trailing
+//! side replays it from the buffer, and entries are trimmed once both
+//! sides consumed them. The sides stay within an instruction window of
+//! each other (neither commits without the partner's fingerprint), so
+//! the buffer stays tiny. A context whose fork partner has been
+//! dropped (decouple discards the mute's context) first drains
+//! whatever the partner generated ahead, then reads the generator
+//! directly with no buffering.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
 
 use mmm_types::{VcpuId, VmId};
-use mmm_workload::{MicroOp, OpSource, OpStream, TraceReplay};
+use mmm_workload::{MicroOp, OpSource, OpStream, Privilege, TraceReplay};
+
+/// A generator shared by (up to) two fork sides, with the replay
+/// buffer between the leading and the trailing side.
+#[derive(Clone, Debug)]
+struct SharedStream {
+    source: OpSource,
+    /// Sequence number of `buf[0]`.
+    base: u64,
+    /// Generated ops not yet consumed by both sides.
+    buf: VecDeque<MicroOp>,
+    /// Next unconsumed seq per fork side.
+    taken: [u64; 2],
+}
+
+impl SharedStream {
+    /// The op with sequence number `seq`, generating forward as
+    /// needed (the op stays buffered for the other side).
+    fn op_at(&mut self, seq: u64) -> MicroOp {
+        debug_assert!(seq >= self.base, "op {seq} already trimmed");
+        while self.base + (self.buf.len() as u64) <= seq {
+            self.buf.push_back(self.source.next_op());
+        }
+        self.buf[(seq - self.base) as usize]
+    }
+
+    /// Marks op `seq` consumed by `side` without re-reading it — the
+    /// caller already holds the op from a prior [`Self::op_at`] (which
+    /// is guaranteed to have buffered it). Cursor advance and trim
+    /// only.
+    fn consume_at(&mut self, side: usize, seq: u64, alone: bool) {
+        debug_assert!(
+            self.base + (self.buf.len() as u64) > seq,
+            "consume_at requires op {seq} to be buffered"
+        );
+        self.taken[side] = seq + 1;
+        let min = if alone {
+            self.taken[side]
+        } else {
+            self.taken[0].min(self.taken[1])
+        };
+        while self.base < min && !self.buf.is_empty() {
+            self.buf.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Consumes op `seq` for `side`, trimming entries every live side
+    /// is done with. `alone` — the partner handle was dropped, so only
+    /// `side`'s cursor gates trimming.
+    fn take_at(&mut self, side: usize, seq: u64, alone: bool) -> MicroOp {
+        // Sole reader, nothing buffered: bypass the buffer entirely.
+        if alone && seq == self.base && self.buf.is_empty() {
+            self.base = seq + 1;
+            self.taken[side] = seq + 1;
+            return self.source.next_op();
+        }
+        let op = self.op_at(seq);
+        self.taken[side] = seq + 1;
+        let min = if alone {
+            self.taken[side]
+        } else {
+            self.taken[0].min(self.taken[1])
+        };
+        while self.base < min && !self.buf.is_empty() {
+            self.buf.pop_front();
+            self.base += 1;
+        }
+        op
+    }
+}
 
 /// The architected state of a VCPU as seen by a core.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ExecContext {
-    source: OpSource,
+    stream: Rc<RefCell<SharedStream>>,
+    /// Which fork side's cursor this context advances.
+    side: usize,
+    vm: VmId,
+    vcpu: VcpuId,
     /// Dynamic instruction number of the next op to dispatch.
     seq: u64,
     /// A fetched-but-not-yet-dispatched op (one-deep fetch buffer).
@@ -26,6 +120,25 @@ pub struct ExecContext {
     /// Instructions committed without DMR protection (no commit gate
     /// installed on the executing core).
     pub unprotected_commits: u64,
+}
+
+impl Clone for ExecContext {
+    /// Deep copy: the clone gets an independent generator at the same
+    /// stream position. Only [`ExecContext::fork`] creates contexts
+    /// that share one generator.
+    fn clone(&self) -> Self {
+        ExecContext {
+            stream: Rc::new(RefCell::new(self.stream.borrow().clone())),
+            side: self.side,
+            vm: self.vm,
+            vcpu: self.vcpu,
+            seq: self.seq,
+            pending: self.pending,
+            user_commits: self.user_commits,
+            os_commits: self.os_commits,
+            unprotected_commits: self.unprotected_commits,
+        }
+    }
 }
 
 impl ExecContext {
@@ -42,8 +155,18 @@ impl ExecContext {
 
     /// Wraps any op source as a runnable context.
     pub fn from_source(source: OpSource) -> Self {
+        let vm = source.vm();
+        let vcpu = source.vcpu();
         Self {
-            source,
+            stream: Rc::new(RefCell::new(SharedStream {
+                source,
+                base: 0,
+                buf: VecDeque::new(),
+                taken: [0; 2],
+            })),
+            side: 0,
+            vm,
+            vcpu,
             seq: 0,
             pending: None,
             user_commits: 0,
@@ -52,14 +175,52 @@ impl ExecContext {
         }
     }
 
+    /// Splits off the redundant half of a DMR pair: the returned
+    /// context reads the *same* generated op sequence as `self`, each
+    /// op generated exactly once no matter which side reaches it
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is still coupled to a live fork partner.
+    pub fn fork(&mut self) -> ExecContext {
+        assert_eq!(
+            Rc::strong_count(&self.stream),
+            1,
+            "cannot fork a context whose fork partner is still alive"
+        );
+        {
+            let mut s = self.stream.borrow_mut();
+            // Anything the dropped previous partner generated ahead is
+            // ours now; both new cursors start at our position.
+            s.taken = [self.seq; 2];
+            while s.base < self.seq && !s.buf.is_empty() {
+                s.buf.pop_front();
+                s.base += 1;
+            }
+        }
+        self.side = 0;
+        ExecContext {
+            stream: Rc::clone(&self.stream),
+            side: 1,
+            vm: self.vm,
+            vcpu: self.vcpu,
+            seq: self.seq,
+            pending: self.pending,
+            user_commits: self.user_commits,
+            os_commits: self.os_commits,
+            unprotected_commits: self.unprotected_commits,
+        }
+    }
+
     /// The VCPU this context belongs to.
     pub fn vcpu(&self) -> VcpuId {
-        self.source.vcpu()
+        self.vcpu
     }
 
     /// The VM this context belongs to.
     pub fn vm(&self) -> VmId {
-        self.source.vm()
+        self.vm
     }
 
     /// Sequence number of the next op to dispatch.
@@ -70,16 +231,24 @@ impl ExecContext {
     /// Peeks the next op without consuming it.
     pub fn peek(&mut self) -> &MicroOp {
         if self.pending.is_none() {
-            self.pending = Some(self.source.next_op());
+            self.pending = Some(self.stream.borrow_mut().op_at(self.seq));
         }
         self.pending.as_ref().expect("just filled")
     }
 
     /// Consumes the next op, advancing the stream position.
     pub fn take(&mut self) -> (u64, MicroOp) {
+        let alone = Rc::strong_count(&self.stream) == 1;
         let op = match self.pending.take() {
-            Some(op) => op,
-            None => self.source.next_op(),
+            // The peek that filled `pending` buffered the op, so only
+            // the cursor needs to move.
+            Some(op) => {
+                self.stream
+                    .borrow_mut()
+                    .consume_at(self.side, self.seq, alone);
+                op
+            }
+            None => self.stream.borrow_mut().take_at(self.side, self.seq, alone),
         };
         let seq = self.seq;
         self.seq += 1;
@@ -93,7 +262,7 @@ impl ExecContext {
 
     /// Privilege level the stream is currently executing at (the
     /// privilege of the next op).
-    pub fn current_privilege(&mut self) -> mmm_workload::Privilege {
+    pub fn current_privilege(&mut self) -> Privilege {
         self.peek().privilege
     }
 }
@@ -135,6 +304,79 @@ mod tests {
             let (sb, ob) = b.take();
             assert_eq!(sa, sb);
             assert_eq!(oa, ob);
+        }
+    }
+
+    #[test]
+    fn forks_replay_identically_at_any_skew() {
+        let mut a = ctx();
+        for _ in 0..50 {
+            a.take();
+        }
+        a.peek(); // a pending op must survive the fork on both sides
+        let mut b = a.fork();
+        let mut expect = ctx();
+        for _ in 0..50 {
+            expect.take();
+        }
+        // Interleave with heavy skew in both directions.
+        let mut ea: Vec<(u64, MicroOp)> = Vec::new();
+        let mut eb: Vec<(u64, MicroOp)> = Vec::new();
+        for round in 0..10 {
+            let (na, nb) = if round % 2 == 0 { (60, 5) } else { (5, 60) };
+            for _ in 0..na {
+                ea.push(a.take());
+            }
+            for _ in 0..nb {
+                eb.push(b.take());
+            }
+            // Catch the laggard up at the end of each round.
+            while eb.len() < ea.len() {
+                eb.push(b.take());
+            }
+            while ea.len() < eb.len() {
+                ea.push(a.take());
+            }
+        }
+        assert_eq!(ea, eb);
+        // The shared buffer trims as both sides advance.
+        assert!(a.stream.borrow().buf.len() <= 1);
+        // And the sequence matches an unforked replay exactly.
+        for (i, (seq, op)) in ea.iter().enumerate() {
+            let (es, eo) = expect.take();
+            assert_eq!((*seq, *op), (es, eo), "op {i}");
+        }
+    }
+
+    #[test]
+    fn survivor_replays_what_partner_generated_ahead() {
+        let mut a = ctx();
+        let mut b = a.fork();
+        for _ in 0..10 {
+            a.take();
+            b.take();
+        }
+        // Partner runs ahead, then is dropped (decouple discards the
+        // mute's context mid-stream).
+        for _ in 0..7 {
+            b.take();
+        }
+        drop(b);
+        let mut expect = ctx();
+        for _ in 0..10 {
+            expect.take();
+        }
+        // The survivor must replay ops 10..17 from the buffer, then
+        // continue generating — no gap, no repeat.
+        for _ in 0..100 {
+            assert_eq!(a.take(), expect.take());
+        }
+        // And a re-fork from the survivor stays identical too.
+        let mut c = a.fork();
+        for _ in 0..100 {
+            let e = expect.take();
+            assert_eq!(a.take(), e);
+            assert_eq!(c.take(), e);
         }
     }
 

@@ -20,19 +20,18 @@
 //!   the pressure the paper identifies as Reunion's largest overhead
 //!   source; under TSO the store retires into a store buffer instead.
 
-use mmm_types::fastmap::FastMap;
-use std::collections::VecDeque;
-
 use mmm_mem::request::store_token;
 use mmm_mem::{MemorySystem, Source};
 use mmm_trace::{Event, Tracer};
 use mmm_types::config::{Consistency, SystemConfig};
+use mmm_types::fastmap::FastMap;
 use mmm_types::{CoreId, Cycle, LineAddr, VcpuId};
 use mmm_workload::{MicroOp, OpClass, Privilege};
+use std::collections::VecDeque;
 
 use crate::context::ExecContext;
-use crate::filter::StoreFilter;
-use crate::gate::CommitGate;
+use crate::filter::Filter;
+use crate::gate::{CommitGate, Gate};
 use crate::phase::PhaseTracker;
 use crate::stats::CoreStats;
 use crate::tlb::Tlb;
@@ -48,6 +47,35 @@ pub enum Boundary {
     /// The next instruction returns to user code: the VCPU may drop
     /// back to performance mode.
     ExitOs,
+}
+
+/// Which per-cycle stall counter a blocked core charges while it
+/// sleeps (see [`Core::tick`]'s wake-cycle skipping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StallKind {
+    Si,
+    Mispredict,
+    Fetch,
+    WindowFull,
+    LsqFull,
+}
+
+/// Per-cycle counter charges for a skipped (provably idle) cycle.
+///
+/// When the core proves it cannot make progress before a known wake
+/// cycle, it stops simulating the intervening cycles — but those
+/// cycles still happened architecturally, so the counters the
+/// per-cycle loop would have incremented are recorded here and applied
+/// in bulk when the core next runs. This keeps every statistic
+/// bit-identical to the cycle-by-cycle execution.
+#[derive(Clone, Copy, Debug)]
+struct SkipCharge {
+    /// The pending op is an OS-privilege op (`os_cycles` accrues).
+    os: bool,
+    /// The commit head is gate-held (`check_wait_cycles` accrues).
+    check_wait: bool,
+    /// The dispatch stage's per-cycle stall counter, if any.
+    stall: Option<StallKind>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -79,8 +107,8 @@ pub struct Core {
 
     // Role configuration (set by the scheduler / DMR layer).
     coherent: bool,
-    gate: Option<Box<dyn CommitGate>>,
-    store_filter: Option<Box<dyn StoreFilter>>,
+    gate: Option<Gate>,
+    store_filter: Filter,
     trap_enter: bool,
     trap_exit: bool,
     phase_tracker: Option<PhaseTracker>,
@@ -105,6 +133,18 @@ pub struct Core {
     pending_boundary: Option<Boundary>,
     last_ready: Cycle,
 
+    // Wake-cycle skipping. When every pipeline stage is provably
+    // blocked until a known cycle, `skip_until` is set to that cycle
+    // and ticks before it return immediately; the skipped cycles'
+    // counters are settled lazily from `skip_charge` (state is frozen
+    // while skipping, so the charges are exact). Any external mutation
+    // (scheduler, gate install, context moves) clears `skip_until`.
+    skip_until: Cycle,
+    /// First skipped-but-unsettled cycle (valid while `skip_active`).
+    skip_from: Cycle,
+    skip_active: bool,
+    skip_charge: SkipCharge,
+
     tlb: Tlb,
     stats: CoreStats,
     tracer: Tracer,
@@ -126,7 +166,7 @@ impl Core {
             sb_drain_cycles: 3,
             coherent: true,
             gate: None,
-            store_filter: None,
+            store_filter: Filter::None,
             trap_enter: false,
             trap_exit: false,
             phase_tracker: None,
@@ -144,6 +184,14 @@ impl Core {
             last_fetch_line: None,
             pending_boundary: None,
             last_ready: 0,
+            skip_until: 0,
+            skip_from: 0,
+            skip_active: false,
+            skip_charge: SkipCharge {
+                os: false,
+                check_wait: false,
+                stall: None,
+            },
             tlb: Tlb::new(cfg.core.tlb_entries, cfg.core.tlb_fill_latency),
             stats: CoreStats::new(),
             tracer: Tracer::off(),
@@ -171,6 +219,7 @@ impl Core {
         assert!(self.context.is_none(), "core {} already busy", self.id);
         self.context = Some(ctx);
         self.last_fetch_line = None;
+        self.wake_now();
     }
 
     /// Removes and returns the context, leaving the core idle.
@@ -179,7 +228,11 @@ impl Core {
     pub fn take_context(&mut self, now: Cycle) -> Option<ExecContext> {
         self.squash(now);
         self.pending_boundary = None;
-        self.context.take()
+        let ctx = self.context.take();
+        // An idle core can do nothing until a context arrives;
+        // `set_context` clears the hint.
+        self.skip_until = Cycle::MAX;
+        ctx
     }
 
     /// Whether a context is installed.
@@ -196,6 +249,7 @@ impl Core {
     /// performance mode) or runs incoherently (Reunion mute).
     pub fn set_coherent(&mut self, coherent: bool) {
         self.coherent = coherent;
+        self.wake_now();
     }
 
     /// Whether this core issues coherent requests.
@@ -205,13 +259,22 @@ impl Core {
 
     /// Installs (or removes) the Reunion commit gate.
     pub fn set_gate(&mut self, gate: Option<Box<dyn CommitGate>>) {
+        self.gate = gate.map(Gate::Dyn);
+        self.wake_now();
+    }
+
+    /// Installs a devirtualized gate variant directly (the pair
+    /// coupling path).
+    pub fn set_gate_kind(&mut self, gate: Option<Gate>) {
         self.gate = gate;
+        self.wake_now();
     }
 
     /// Installs (or removes) the store filter — the PAB's hook into
     /// the store write-through path (performance mode only).
-    pub fn set_store_filter(&mut self, filter: Option<Box<dyn StoreFilter>>) {
+    pub fn set_store_filter(&mut self, filter: Filter) {
         self.store_filter = filter;
+        self.wake_now();
     }
 
     /// Whether a store filter is installed.
@@ -241,6 +304,7 @@ impl Core {
     pub fn set_traps(&mut self, enter: bool, exit: bool) {
         self.trap_enter = enter;
         self.trap_exit = exit;
+        self.wake_now();
     }
 
     /// The boundary the core is currently trapped on, if any.
@@ -252,6 +316,7 @@ impl Core {
     /// performed; dispatch may proceed).
     pub fn clear_boundary(&mut self) {
         self.pending_boundary = None;
+        self.wake_now();
     }
 
     /// Whether the window has fully drained.
@@ -263,6 +328,7 @@ impl Core {
     /// VCPU state save/restore).
     pub fn stall_until(&mut self, cycle: Cycle) {
         self.external_stall_until = self.external_stall_until.max(cycle);
+        self.wake_now();
     }
 
     /// Cycle through which the core is externally stalled.
@@ -271,7 +337,11 @@ impl Core {
     }
 
     /// Discards all in-flight (dispatched, uncommitted) work.
-    pub fn squash(&mut self, _now: Cycle) {
+    pub fn squash(&mut self, now: Cycle) {
+        if self.skip_active {
+            self.settle_skip(now);
+        }
+        self.wake_now();
         if let Some(first) = self.window.front() {
             if let Some(g) = self.gate.as_mut() {
                 g.on_squash(first.seq);
@@ -288,6 +358,7 @@ impl Core {
 
     /// The core's TLB (fault injection and demap tests).
     pub fn tlb_mut(&mut self) -> &mut Tlb {
+        self.wake_now();
         &mut self.tlb
     }
 
@@ -305,6 +376,89 @@ impl Core {
             ctx.unprotected_commits = 0;
         }
         self.stats = CoreStats::new();
+        // Unsettled skip charges belong to pre-reset cycles: drop them
+        // with the rest of the warm-up counters. The next tick
+        // re-derives the (unchanged) skip window and charges only
+        // post-reset cycles.
+        self.skip_active = false;
+        if self.skip_until != Cycle::MAX {
+            self.skip_until = 0;
+        }
+    }
+
+    /// First cycle at which this core can possibly make progress —
+    /// the system loop may skip `tick` calls before it. Always sound:
+    /// ticks before the hint are no-ops whose counters the core
+    /// settles when it next runs.
+    #[inline]
+    pub fn wake_hint(&self) -> Cycle {
+        if self.context.is_none() {
+            // An idle core cannot act until a context is installed
+            // (which resets the hint).
+            return Cycle::MAX;
+        }
+        self.skip_until
+    }
+
+    /// Forces the core to run on the next tick (external state it may
+    /// have slept across just changed).
+    #[inline]
+    fn wake_now(&mut self) {
+        self.skip_until = 0;
+    }
+
+    /// Applies any pending skipped-cycle charges for cycles before
+    /// `now` — the end-of-run flush, so reports read fully settled
+    /// counters.
+    pub fn settle_to(&mut self, now: Cycle) {
+        if self.skip_active {
+            self.settle_skip(now);
+        }
+    }
+
+    /// Applies the counters for cycles `skip_from..now` that were
+    /// skipped while the core was provably blocked.
+    fn settle_skip(&mut self, now: Cycle) {
+        let gap = now.saturating_sub(self.skip_from);
+        if gap > 0 {
+            self.stats.active_cycles += gap;
+            if self.skip_charge.os {
+                self.stats.os_cycles += gap;
+            }
+            if self.skip_charge.check_wait {
+                self.stats.check_wait_cycles += gap;
+            }
+            match self.skip_charge.stall {
+                Some(StallKind::Si) => self.stats.si_stall_cycles += gap,
+                Some(StallKind::Mispredict) => self.stats.mispredict_stall_cycles += gap,
+                Some(StallKind::Fetch) => self.stats.fetch_stall_cycles += gap,
+                Some(StallKind::WindowFull) => self.stats.window_full_cycles += gap,
+                Some(StallKind::LsqFull) => self.stats.lsq_full_cycles += gap,
+                None => {}
+            }
+        }
+        self.skip_active = false;
+        self.skip_until = 0;
+    }
+
+    /// Enters a skip window: cycles in `(now, wake)` are provably
+    /// no-ops under the current (frozen) state and will be charged
+    /// `charge` each when the core next runs.
+    #[inline]
+    fn begin_skip(&mut self, now: Cycle, wake: Cycle, charge: SkipCharge) {
+        self.skip_active = true;
+        self.skip_from = now + 1;
+        self.skip_until = wake;
+        self.skip_charge = charge;
+    }
+
+    /// Whether the pending (next-to-dispatch) op is OS-privileged.
+    #[inline]
+    fn pending_os(&mut self) -> bool {
+        self.context
+            .as_mut()
+            .map(|c| c.current_privilege() == Privilege::Os)
+            .unwrap_or(false)
     }
 
     /// Advances the core by one cycle.
@@ -312,21 +466,58 @@ impl Core {
         if self.context.is_none() {
             return;
         }
+        if now < self.skip_until {
+            return;
+        }
+        if self.skip_active {
+            self.settle_skip(now);
+        }
         self.stats.active_cycles += 1;
-        if self
-            .context
-            .as_mut()
-            .map(|c| c.current_privilege() == Privilege::Os)
-            .unwrap_or(false)
-        {
+        let in_os = self.pending_os();
+        if in_os {
             self.stats.os_cycles += 1;
         }
         if now < self.external_stall_until {
+            // Nothing runs until the external stall lifts; the only
+            // per-cycle charges are the activity counters above.
+            self.begin_skip(
+                now,
+                self.external_stall_until,
+                SkipCharge {
+                    os: in_os,
+                    check_wait: false,
+                    stall: None,
+                },
+            );
             return;
         }
         self.drain_store_buffer(now);
-        self.commit(now, mem);
-        self.dispatch(now, mem);
+        let (commit_wake, check_wait) = self.commit(now, mem);
+        let (dispatch_wake, stall) = self.dispatch(now, mem);
+        if let Some(g) = self.gate.as_mut() {
+            // Push the dispatch burst's buffered publishes before any
+            // other core (or the pair service) can observe the channel.
+            g.flush();
+        }
+        let wake = commit_wake.min(dispatch_wake);
+        if wake > now + 1 {
+            // Both stages are blocked until a known cycle (or
+            // indefinitely, pending commit progress / an external
+            // event): sleep, recording what each skipped cycle would
+            // have counted. The pending op's privilege decides the
+            // os_cycles charge — recomputed after dispatch, since
+            // dispatch may have advanced the stream.
+            let os = self.pending_os();
+            self.begin_skip(
+                now,
+                wake,
+                SkipCharge {
+                    os,
+                    check_wait,
+                    stall,
+                },
+            );
+        }
     }
 
     fn drain_store_buffer(&mut self, now: Cycle) {
@@ -339,29 +530,41 @@ impl Core {
         }
     }
 
-    /// Whether the gate (if any) releases `seq` at `now`. Returns
-    /// `false` and counts a check-wait cycle when held.
-    fn gate_passed(&mut self, seq: u64, now: Cycle) -> bool {
+    /// `None` if the gate (if any) releases `seq` at `now`; otherwise
+    /// the earliest cycle the hold can end (`now + 1` when the gate
+    /// cannot bound it), counting a check-wait cycle.
+    fn gate_wait(&mut self, seq: u64, now: Cycle) -> Option<Cycle> {
         match self.gate.as_mut() {
-            None => true,
-            Some(g) => match g.commit_time(seq, now) {
-                Some(t) if t <= now => true,
-                _ => {
+            None => None,
+            Some(g) => {
+                if g.released(seq, now) {
+                    None
+                } else {
                     self.stats.check_wait_cycles += 1;
-                    false
+                    Some(g.hold_until().max(now + 1))
                 }
-            },
+            }
         }
     }
 
-    fn commit(&mut self, now: Cycle, mem: &mut MemorySystem) {
+    /// Commits up to `width` instructions in order.
+    ///
+    /// Returns `(wake, check_wait)`: the earliest cycle at which this
+    /// stage could do anything it could not do this cycle (`now + 1`
+    /// when unknown, `Cycle::MAX` when only dispatch progress can
+    /// unblock it), and whether a blocked head charges
+    /// `check_wait_cycles` every cycle while the state is frozen.
+    fn commit(&mut self, now: Cycle, mem: &mut MemorySystem) -> (Cycle, bool) {
         let mut committed = 0;
         while committed < self.width {
             let Some(head) = self.window.front().copied() else {
-                break;
+                // Empty window: only dispatch can create commit work.
+                return (Cycle::MAX, false);
             };
             if now < head.ready_at {
-                break;
+                // The per-cycle loop breaks before consulting the
+                // gate here, so no check-wait accrues while waiting.
+                return (head.ready_at, false);
             }
             if head.op.is_store() {
                 match self.consistency {
@@ -370,21 +573,19 @@ impl Core {
                             // The write-through may only start once the
                             // store is checked (its value must not
                             // escape an unvalidated core).
-                            if !self.gate_passed(head.seq, now) {
-                                break;
+                            if let Some(hold) = self.gate_wait(head.seq, now) {
+                                return (hold, true);
                             }
                             let line = head.op.data_addr.expect("store has an address").line();
                             // PAB re-validation before the L2 write
                             // (performance mode only).
                             if !head.filter_done {
-                                if let Some(f) = self.store_filter.as_mut() {
-                                    let ok_at = f.check(self.id, line, now, mem);
-                                    let slot = self.window.front_mut().expect("head exists");
-                                    slot.filter_done = true;
-                                    if ok_at > now {
-                                        slot.ready_at = ok_at;
-                                        break;
-                                    }
+                                let ok_at = self.store_filter.check(self.id, line, now, mem);
+                                let slot = self.window.front_mut().expect("head exists");
+                                slot.filter_done = true;
+                                if ok_at > now {
+                                    slot.ready_at = ok_at;
+                                    return (ok_at, false);
                                 }
                             }
                             let vcpu = self.vcpu();
@@ -394,27 +595,34 @@ impl Core {
                             slot.write_issued = true;
                             slot.ready_at = acc.complete_at;
                             if acc.complete_at > now {
-                                break;
+                                return (acc.complete_at, false);
                             }
                         }
                     }
                     Consistency::Tso => {
-                        if !self.gate_passed(head.seq, now) {
-                            break;
+                        if let Some(hold) = self.gate_wait(head.seq, now) {
+                            return (hold, true);
                         }
                         if self.store_buffer.len() >= self.sb_entries as usize {
-                            break;
+                            // A gated core re-polls its (already
+                            // released) gate every blocked cycle, and
+                            // a recovery can revoke a release — only
+                            // ungated cores may sleep through a full
+                            // store buffer.
+                            let wake = match self.gate {
+                                None => self.store_buffer.front().copied().unwrap_or(now + 1),
+                                Some(_) => now + 1,
+                            };
+                            return (wake, false);
                         }
                         let line = head.op.data_addr.expect("store has an address").line();
                         if !head.filter_done {
-                            if let Some(f) = self.store_filter.as_mut() {
-                                let ok_at = f.check(self.id, line, now, mem);
-                                let slot = self.window.front_mut().expect("head exists");
-                                slot.filter_done = true;
-                                if ok_at > now {
-                                    slot.ready_at = ok_at;
-                                    break;
-                                }
+                            let ok_at = self.store_filter.check(self.id, line, now, mem);
+                            let slot = self.window.front_mut().expect("head exists");
+                            slot.filter_done = true;
+                            if ok_at > now {
+                                slot.ready_at = ok_at;
+                                return (ok_at, false);
                             }
                         }
                         let vcpu = self.vcpu();
@@ -429,12 +637,14 @@ impl Core {
                     }
                 }
             }
-            if !self.gate_passed(head.seq, now) {
-                break;
+            if let Some(hold) = self.gate_wait(head.seq, now) {
+                return (hold, true);
             }
             self.retire_head(now);
             committed += 1;
         }
+        // Full commit width used: more may retire next cycle.
+        (now + 1, false)
     }
 
     fn retire_head(&mut self, now: Cycle) {
@@ -516,31 +726,65 @@ impl Core {
         (x & 1023) < self.dependence_threshold
     }
 
-    fn dispatch(&mut self, now: Cycle, mem: &mut MemorySystem) {
+    /// A dispatch-stage blocking result: when instructions already
+    /// dispatched this cycle, the window contents changed and any
+    /// commit-stage wake bound computed earlier this cycle is stale —
+    /// force a real tick next cycle instead of sleeping.
+    #[inline]
+    fn block(
+        dispatched: u32,
+        now: Cycle,
+        wake: Cycle,
+        stall: Option<StallKind>,
+    ) -> (Cycle, Option<StallKind>) {
+        if dispatched > 0 {
+            (now + 1, None)
+        } else {
+            (wake, stall)
+        }
+    }
+
+    /// Dispatches up to `width` instructions.
+    ///
+    /// Returns `(wake, stall)`: the earliest cycle this stage could do
+    /// more than it did this cycle (`Cycle::MAX` when only commit
+    /// progress or an external event can unblock it), and the stall
+    /// counter a blocked cycle charges while the state is frozen.
+    fn dispatch(&mut self, now: Cycle, mem: &mut MemorySystem) -> (Cycle, Option<StallKind>) {
         let mut dispatched = 0;
         while dispatched < self.width {
             if self.pending_boundary.is_some() {
-                break;
+                return Self::block(dispatched, now, Cycle::MAX, None);
             }
             if self.si_in_flight {
                 self.stats.si_stall_cycles += 1;
-                break;
+                return Self::block(dispatched, now, Cycle::MAX, Some(StallKind::Si));
             }
             if now < self.si_resume_until {
                 self.stats.si_stall_cycles += 1;
-                break;
+                return Self::block(dispatched, now, self.si_resume_until, Some(StallKind::Si));
             }
             if now < self.redirect_stall_until {
                 self.stats.mispredict_stall_cycles += 1;
-                break;
+                return Self::block(
+                    dispatched,
+                    now,
+                    self.redirect_stall_until,
+                    Some(StallKind::Mispredict),
+                );
             }
             if now < self.fetch_stall_until {
                 self.stats.fetch_stall_cycles += 1;
-                break;
+                return Self::block(
+                    dispatched,
+                    now,
+                    self.fetch_stall_until,
+                    Some(StallKind::Fetch),
+                );
             }
             if self.window.len() >= self.window_entries as usize {
                 self.stats.window_full_cycles += 1;
-                break;
+                return Self::block(dispatched, now, Cycle::MAX, Some(StallKind::WindowFull));
             }
 
             let coherent = self.coherent;
@@ -555,27 +799,27 @@ impl Core {
             // before any privileged instruction dispatches.
             if self.trap_enter && op.privilege == Privilege::Os {
                 self.pending_boundary = Some(Boundary::EnterOs);
-                break;
+                return Self::block(dispatched, now, Cycle::MAX, None);
             }
             if self.trap_exit && op.privilege == Privilege::User {
                 self.pending_boundary = Some(Boundary::ExitOs);
-                break;
+                return Self::block(dispatched, now, Cycle::MAX, None);
             }
             // A serializing instruction dispatches alone into an empty
             // window.
             if op.is_serializing() && !self.window.is_empty() {
                 self.stats.si_stall_cycles += 1;
-                break;
+                return Self::block(dispatched, now, Cycle::MAX, Some(StallKind::Si));
             }
             // LSQ capacity.
             match op.class {
                 OpClass::Load if self.lq_used >= self.lq_entries => {
                     self.stats.lsq_full_cycles += 1;
-                    break;
+                    return Self::block(dispatched, now, Cycle::MAX, Some(StallKind::LsqFull));
                 }
                 OpClass::Store if self.sq_used >= self.sq_entries => {
                     self.stats.lsq_full_cycles += 1;
-                    break;
+                    return Self::block(dispatched, now, Cycle::MAX, Some(StallKind::LsqFull));
                 }
                 _ => {}
             }
@@ -587,7 +831,7 @@ impl Core {
                 if acc.source != Source::L1 {
                     self.fetch_stall_until = acc.complete_at;
                     self.stats.fetch_stall_cycles += 1;
-                    break;
+                    return Self::block(dispatched, now, acc.complete_at, Some(StallKind::Fetch));
                 }
             }
 
@@ -655,6 +899,8 @@ impl Core {
             });
             dispatched += 1;
         }
+        // Full dispatch width used: more may dispatch next cycle.
+        (now + 1, None)
     }
 }
 
@@ -886,7 +1132,7 @@ mod tests {
 
         let (mut filtered, mut mem_b) = machine();
         filtered.set_context(ctx(6));
-        filtered.set_store_filter(Some(Box::new(SlowFilter)));
+        filtered.set_store_filter(crate::filter::Filter::Dyn(Box::new(SlowFilter)));
         run(&mut filtered, &mut mem_b, 100_000);
 
         assert!(

@@ -9,8 +9,13 @@
 //! commit. `mmm-reunion` provides the real pair-coupled
 //! implementation; performance-mode cores have no gate at all.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use mmm_mem::VersionToken;
 use mmm_types::{Cycle, LineAddr};
+
+use crate::channel::{PairChannel, Side};
 
 /// Interface between a core and its (possible) Check stage.
 pub trait CommitGate {
@@ -39,6 +44,186 @@ pub trait CommitGate {
     /// numbers ≥ `from_seq` (pipeline flush at a mode switch); their
     /// fingerprints will be re-published.
     fn on_squash(&mut self, from_seq: u64);
+}
+
+/// A core's commit gate, devirtualized for the commit hot path.
+///
+/// The pair-coupled Reunion gate is by far the common case and is a
+/// concrete variant (no virtual dispatch per commit poll); arbitrary
+/// [`CommitGate`] implementations (unit tests, experiments) ride in
+/// the boxed variant.
+#[allow(clippy::large_enum_variant)] // one Gate per core; the Pair variant IS the fast path
+pub enum Gate {
+    /// One side of a Reunion pair, backed by the shared channel.
+    Pair(PairGate),
+    /// Any custom [`CommitGate`] implementation.
+    Dyn(Box<dyn CommitGate>),
+}
+
+impl Gate {
+    /// Reports a dispatched op to the Check stage.
+    pub fn on_dispatch(
+        &mut self,
+        seq: u64,
+        exec_done: Cycle,
+        load_obs: Option<(LineAddr, VersionToken)>,
+    ) {
+        match self {
+            Gate::Pair(g) => {
+                // Buffered: nothing reads the channel between a core's
+                // dispatches and the end of its tick, so one borrow per
+                // tick ([`Gate::flush`]) publishes the whole burst.
+                if g.pending_len as usize == g.pending.len() {
+                    g.flush_pending();
+                }
+                g.pending[g.pending_len as usize] = (seq, exec_done, load_obs);
+                g.pending_len += 1;
+            }
+            Gate::Dyn(g) => g.on_dispatch(seq, exec_done, load_obs),
+        }
+    }
+
+    /// Publishes any buffered dispatches. The owning core calls this
+    /// at the end of every tick's dispatch stage, before any other
+    /// agent can observe the channel.
+    pub fn flush(&mut self) {
+        if let Gate::Pair(g) = self {
+            if g.pending_len > 0 {
+                g.flush_pending();
+            }
+        }
+    }
+
+    /// Whether op `seq` may commit at `now`.
+    pub fn released(&mut self, seq: u64, now: Cycle) -> bool {
+        match self {
+            Gate::Pair(g) => g.released(seq, now),
+            Gate::Dyn(g) => matches!(g.commit_time(seq, now), Some(t) if t <= now),
+        }
+    }
+
+    /// Lower bound on the next cycle at which a currently-held op
+    /// could be released, from the [`PairGate`] hold cache. Zero when
+    /// no bound is cached (a `Dyn` gate must be polled every cycle —
+    /// its release times carry no monotonicity contract).
+    pub fn hold_until(&self) -> Cycle {
+        match self {
+            Gate::Pair(g) => g.hold.map(|(_, t)| t).unwrap_or(0),
+            Gate::Dyn(_) => 0,
+        }
+    }
+
+    /// Extra fetch-stall cycles after a serializing instruction
+    /// commits.
+    pub fn si_resume_delay(&self) -> u32 {
+        match self {
+            Gate::Pair(g) => g.channel.borrow().si_resume_delay(),
+            Gate::Dyn(g) => g.si_resume_delay(),
+        }
+    }
+
+    /// Forwards a pipeline squash.
+    pub fn on_squash(&mut self, from_seq: u64) {
+        match self {
+            Gate::Pair(g) => {
+                g.hold = None;
+                g.grant = (Cycle::MAX, 0);
+                g.channel.borrow_mut().on_squash(from_seq);
+            }
+            Gate::Dyn(g) => g.on_squash(from_seq),
+        }
+    }
+}
+
+/// A dispatch report not yet pushed to the channel: `(seq, exec-done
+/// cycle, observed load version)`.
+type PendingPublish = (u64, Cycle, Option<(LineAddr, VersionToken)>);
+
+/// One side's view of the shared pair channel, with a release-time
+/// hold cache.
+///
+/// [`PairChannel::commit_time`] results for a fixed seq are
+/// non-decreasing over time (per-side prefix maxima and the recovery
+/// floor only ever rise), so a returned release cycle is a sound
+/// lower bound: until it arrives the core cannot commit, and the gate
+/// skips the channel poll entirely. A `None` result (partner
+/// fingerprint missing) is bounded the same way through
+/// [`PairChannel::none_poll_delay`]. Neither shortcut changes any
+/// commit cycle — it only removes redundant polls.
+pub struct PairGate {
+    channel: Rc<RefCell<PairChannel>>,
+    side: Side,
+    /// `(seq, until)` — the head seq cannot commit before `until`.
+    hold: Option<(u64, Cycle)>,
+    /// Dispatches not yet pushed to the channel (see
+    /// [`Gate::on_dispatch`]).
+    pending: [PendingPublish; 8],
+    /// Number of live entries in `pending`.
+    pending_len: u8,
+    /// `(cycle, upto)` — every seq ≤ `upto` was released at `cycle`.
+    /// Valid only within that cycle: the commit stage polls the gate
+    /// once per retiring op, all in one tick, before this core (or its
+    /// partner, which ticks in the same system pass) publishes
+    /// anything new — so one channel poll can vouch for the whole
+    /// commit burst.
+    grant: (Cycle, u64),
+    /// Poll-skip span after a partner-lag (`None`) poll.
+    none_skip: u32,
+}
+
+impl PairGate {
+    /// Creates the gate for `side` of `channel`.
+    pub fn new(channel: Rc<RefCell<PairChannel>>, side: Side) -> Self {
+        let none_skip = channel.borrow().none_poll_delay();
+        Self {
+            channel,
+            side,
+            hold: None,
+            pending: [(0, 0, None); 8],
+            pending_len: 0,
+            grant: (Cycle::MAX, 0),
+            none_skip,
+        }
+    }
+
+    fn flush_pending(&mut self) {
+        let mut ch = self.channel.borrow_mut();
+        for &(seq, done, obs) in &self.pending[..self.pending_len as usize] {
+            ch.publish(self.side, seq, done, obs);
+        }
+        self.pending_len = 0;
+    }
+
+    fn released(&mut self, seq: u64, now: Cycle) -> bool {
+        if now == self.grant.0 && seq <= self.grant.1 {
+            return true;
+        }
+        if let Some((held_seq, until)) = self.hold {
+            if held_seq == seq && now < until {
+                return false;
+            }
+        }
+        let mut ch = self.channel.borrow_mut();
+        ch.prune_below(seq);
+        // Resolve the whole commit burst in one walk: the grant lets
+        // the burst's remaining polls short-circuit to a compare.
+        if let Some(upto) = ch.released_through(seq, now, 8) {
+            self.grant = (now, upto);
+            self.hold = None;
+            return true;
+        }
+        match ch.commit_time(seq, now) {
+            Some(t) => {
+                debug_assert!(t > now, "released_through missed a release");
+                self.hold = Some((seq, t));
+                false
+            }
+            None => {
+                self.hold = Some((seq, now + self.none_skip as Cycle));
+                false
+            }
+        }
+    }
 }
 
 #[cfg(test)]

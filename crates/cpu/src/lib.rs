@@ -18,18 +18,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod context;
 pub mod core;
 pub mod filter;
 pub mod gate;
+pub mod pab;
 pub mod phase;
 pub mod stats;
 pub mod tlb;
 
+pub use channel::{PairChannel, PairStats, Side};
 pub use context::ExecContext;
 pub use core::{Boundary, Core};
-pub use filter::StoreFilter;
-pub use gate::CommitGate;
+pub use filter::{Filter, PabPort, StoreFilter};
+pub use gate::{CommitGate, Gate, PairGate};
+pub use pab::{Pab, PabStats};
 pub use phase::PhaseTracker;
 pub use stats::CoreStats;
 pub use tlb::Tlb;

@@ -11,7 +11,15 @@
 //! the Protection Assistance Buffer exists to catch. The fault hook
 //! lives in `mmm-core`'s fault injector; this module only provides the
 //! timing and the demap interface.
+//!
+//! The TLB sits on the dispatch path of every load and store, so the
+//! hit path is indexed by a hash map instead of scanning the slot
+//! array; the slot array remains the source of truth for replacement
+//! (first-empty fill, then strict LRU with first-minimal tie-break),
+//! keeping hit/miss and eviction sequences identical to the naive
+//! fully-associative scan.
 
+use mmm_types::fastmap::FastMap;
 use mmm_types::{Cycle, PageAddr};
 
 #[derive(Clone, Copy, Debug)]
@@ -24,6 +32,17 @@ struct TlbSlot {
 #[derive(Clone, Debug)]
 pub struct Tlb {
     slots: Vec<Option<TlbSlot>>,
+    /// Residency index: page -> slot position (hit-path fast lookup).
+    index: FastMap<PageAddr, u32>,
+    /// Most-recently-hit translation — consecutive accesses to the
+    /// same page (the common case under power-law reuse) skip the
+    /// index probe. Pure cache: hit/miss counts and LRU stamps are
+    /// identical with or without it.
+    mru: Option<(PageAddr, u32)>,
+    /// Resident translations. The slot array is large (512) and, once
+    /// warm, permanently full: the count lets the miss path skip the
+    /// first-empty scan and go straight to LRU eviction.
+    occupied: u32,
     fill_latency: u32,
     stamp: u64,
     hits: u64,
@@ -36,6 +55,9 @@ impl Tlb {
         assert!(entries > 0, "TLB must have entries");
         Self {
             slots: vec![None; entries as usize],
+            index: FastMap::default(),
+            mru: None,
+            occupied: 0,
             fill_latency,
             stamp: 0,
             hits: 0,
@@ -47,41 +69,68 @@ impl Tlb {
     /// (0 on a hit, the fill latency on a miss).
     pub fn access(&mut self, page: PageAddr, _now: Cycle) -> u32 {
         self.stamp += 1;
-        if let Some(slot) = self.slots.iter_mut().flatten().find(|s| s.page == page) {
+        if let Some((p, pos)) = self.mru {
+            if p == page {
+                let slot = self.slots[pos as usize]
+                    .as_mut()
+                    .expect("cached slot is resident");
+                slot.lru = self.stamp;
+                self.hits += 1;
+                return 0;
+            }
+        }
+        if let Some(&pos) = self.index.get(&page) {
+            let slot = self.slots[pos as usize]
+                .as_mut()
+                .expect("indexed slot is resident");
             slot.lru = self.stamp;
             self.hits += 1;
+            self.mru = Some((page, pos));
             return 0;
         }
         self.misses += 1;
         let stamp = self.stamp;
-        if let Some(empty) = self.slots.iter_mut().find(|s| s.is_none()) {
-            *empty = Some(TlbSlot { page, lru: stamp });
-        } else {
-            let victim = self
+        let pos = if self.occupied < self.slots.len() as u32 {
+            let pos = self
                 .slots
-                .iter_mut()
-                .min_by_key(|s| s.map(|x| x.lru).unwrap_or(0))
+                .iter()
+                .position(|s| s.is_none())
+                .expect("occupancy count says a slot is free");
+            self.occupied += 1;
+            pos
+        } else {
+            let pos = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.map(|x| x.lru).unwrap_or(0))
+                .map(|(i, _)| i)
                 .expect("nonzero entries");
-            *victim = Some(TlbSlot { page, lru: stamp });
-        }
+            let victim = self.slots[pos].expect("full TLB slot is resident");
+            self.index.remove(&victim.page);
+            pos
+        };
+        self.slots[pos] = Some(TlbSlot { page, lru: stamp });
+        self.index.insert(page, pos as u32);
+        self.mru = Some((page, pos as u32));
         self.fill_latency
     }
 
     /// Removes a translation (TLB demap). The PAB mirrors this event
     /// to stay coherent (paper §3.4.1).
     pub fn demap(&mut self, page: PageAddr) -> bool {
-        for slot in &mut self.slots {
-            if slot.map(|s| s.page) == Some(page) {
-                *slot = None;
-                return true;
-            }
+        if let Some(pos) = self.index.remove(&page) {
+            self.slots[pos as usize] = None;
+            self.mru = None;
+            self.occupied -= 1;
+            return true;
         }
         false
     }
 
     /// Whether a translation is resident (diagnostics).
     pub fn contains(&self, page: PageAddr) -> bool {
-        self.slots.iter().flatten().any(|s| s.page == page)
+        self.index.contains_key(&page)
     }
 
     /// Hit count.
@@ -97,6 +146,9 @@ impl Tlb {
     /// Empties the TLB (context/VM switch).
     pub fn flush(&mut self) {
         self.slots.iter_mut().for_each(|s| *s = None);
+        self.index.clear();
+        self.mru = None;
+        self.occupied = 0;
     }
 }
 

@@ -114,7 +114,7 @@ impl SetAssocCache {
         let range = self.set_range(addr);
         self.sets[range]
             .iter_mut()
-            .find(|s| s.line.map(|l| l.addr) == Some(addr))
+            .find(|s| s.line.as_ref().is_some_and(|l| l.addr == addr))
             .map(|s| {
                 s.lru = stamp;
                 s.line.as_mut().expect("found slot holds a line")
@@ -143,7 +143,7 @@ impl SetAssocCache {
         // Overwrite an existing copy of the same address.
         if let Some(slot) = set
             .iter_mut()
-            .find(|s| s.line.map(|l| l.addr) == Some(line.addr))
+            .find(|s| s.line.as_ref().is_some_and(|l| l.addr == line.addr))
         {
             slot.line = Some(line);
             slot.lru = stamp;
@@ -170,7 +170,7 @@ impl SetAssocCache {
         let range = self.set_range(addr);
         self.sets[range]
             .iter_mut()
-            .find(|s| s.line.map(|l| l.addr) == Some(addr))
+            .find(|s| s.line.as_ref().is_some_and(|l| l.addr == addr))
             .and_then(|s| s.line.take())
     }
 
@@ -180,8 +180,20 @@ impl SetAssocCache {
     }
 
     /// Removes every line matching `pred`, returning the removed lines.
-    pub fn drain_matching(&mut self, mut pred: impl FnMut(&CacheLine) -> bool) -> Vec<CacheLine> {
+    pub fn drain_matching(&mut self, pred: impl FnMut(&CacheLine) -> bool) -> Vec<CacheLine> {
         let mut out = Vec::new();
+        self.drain_matching_into(pred, &mut out);
+        out
+    }
+
+    /// Removes every line matching `pred`, appending the removed lines
+    /// to `out` — the allocation-free form of [`Self::drain_matching`]
+    /// for hot paths that reuse a scratch buffer.
+    pub fn drain_matching_into(
+        &mut self,
+        mut pred: impl FnMut(&CacheLine) -> bool,
+        out: &mut Vec<CacheLine>,
+    ) {
         for slot in &mut self.sets {
             if let Some(line) = slot.line {
                 if pred(&line) {
@@ -190,7 +202,22 @@ impl SetAssocCache {
                 }
             }
         }
-        out
+    }
+
+    /// Removes every line matching `pred` and returns only how many
+    /// were removed (no allocation; for callers that don't need the
+    /// line contents).
+    pub fn discard_matching(&mut self, mut pred: impl FnMut(&CacheLine) -> bool) -> usize {
+        let mut removed = 0;
+        for slot in &mut self.sets {
+            if let Some(line) = slot.line.as_ref() {
+                if pred(line) {
+                    removed += 1;
+                    slot.line = None;
+                }
+            }
+        }
+        removed
     }
 
     /// Number of resident lines.

@@ -11,8 +11,9 @@
 //! change the state of the line in the directory or any other caches"
 //! (paper §3.2).
 
-use mmm_types::fastmap::FastMap;
 use mmm_types::{CoreId, LineAddr};
+
+use crate::linemap::LineMap;
 
 /// Directory record for one line resident in at least one L2.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -50,7 +51,7 @@ impl DirEntry {
 /// The full directory.
 #[derive(Clone, Debug, Default)]
 pub struct Directory {
-    entries: FastMap<LineAddr, DirEntry>,
+    entries: LineMap<DirEntry>,
 }
 
 impl Directory {
@@ -61,12 +62,12 @@ impl Directory {
 
     /// Directory state for a line (empty entry if untracked).
     pub fn entry(&self, line: LineAddr) -> DirEntry {
-        self.entries.get(&line).copied().unwrap_or_default()
+        self.entries.get(line).copied().unwrap_or_default()
     }
 
     /// Records `core` as a sharer of `line`.
     pub fn add_sharer(&mut self, line: LineAddr, core: CoreId) {
-        let e = self.entries.entry(line).or_default();
+        let e = self.entries.entry_or_default(line);
         e.sharers |= 1 << core.index();
     }
 
@@ -77,7 +78,7 @@ impl Directory {
     /// Panics if a different owner is already recorded — ownership must
     /// be transferred explicitly via [`Directory::clear_owner`].
     pub fn set_owner(&mut self, line: LineAddr, core: CoreId) {
-        let e = self.entries.entry(line).or_default();
+        let e = self.entries.entry_or_default(line);
         assert!(
             e.owner.is_none() || e.owner == Some(core),
             "line {line} already owned by {:?}",
@@ -89,7 +90,7 @@ impl Directory {
 
     /// Clears the owner of `line` (the core keeps any sharer record).
     pub fn clear_owner(&mut self, line: LineAddr) {
-        if let Some(e) = self.entries.get_mut(&line) {
+        if let Some(e) = self.entries.get_mut(line) {
             e.owner = None;
         }
     }
@@ -97,37 +98,44 @@ impl Directory {
     /// Removes `core` from the sharer set (and ownership); deletes the
     /// entry if no sharers remain.
     pub fn remove_sharer(&mut self, line: LineAddr, core: CoreId) {
-        if let Some(e) = self.entries.get_mut(&line) {
+        if let Some(e) = self.entries.get_mut(line) {
             e.sharers &= !(1 << core.index());
             if e.owner == Some(core) {
                 e.owner = None;
             }
             if e.is_empty() {
-                self.entries.remove(&line);
+                self.entries.remove(line);
             }
         }
     }
 
-    /// Removes every sharer except `keep`, returning the cores that
-    /// were invalidated. Used on a store upgrade.
-    pub fn invalidate_others(&mut self, line: LineAddr, keep: CoreId) -> Vec<CoreId> {
-        let mut out = Vec::new();
-        if let Some(e) = self.entries.get_mut(&line) {
-            for i in 0..32u16 {
-                let bit = 1u32 << i;
-                if e.sharers & bit != 0 && i != keep.0 {
-                    e.sharers &= !bit;
-                    out.push(CoreId(i));
-                }
-            }
-            if e.owner.is_some() && e.owner != Some(keep) {
-                e.owner = None;
-            }
-            if e.is_empty() {
-                self.entries.remove(&line);
-            }
+    /// Removes every sharer except `keep`, returning the bitmask of
+    /// the cores that were invalidated. Used on a store upgrade; this
+    /// is the allocation-free form for the store hot path.
+    pub fn invalidate_others_mask(&mut self, line: LineAddr, keep: CoreId) -> u32 {
+        let Some(e) = self.entries.get_mut(line) else {
+            return 0;
+        };
+        let keep_bit = 1u32 << keep.index();
+        let kicked = e.sharers & !keep_bit;
+        e.sharers &= keep_bit;
+        if e.owner.is_some() && e.owner != Some(keep) {
+            e.owner = None;
         }
-        out
+        if e.is_empty() {
+            self.entries.remove(line);
+        }
+        kicked
+    }
+
+    /// Removes every sharer except `keep`, returning the cores that
+    /// were invalidated (in ascending core order).
+    pub fn invalidate_others(&mut self, line: LineAddr, keep: CoreId) -> Vec<CoreId> {
+        let mask = self.invalidate_others_mask(line, keep);
+        (0..32u16)
+            .filter(|i| mask & (1u32 << i) != 0)
+            .map(CoreId)
+            .collect()
     }
 
     /// Number of tracked lines (diagnostics).

@@ -36,6 +36,7 @@
 pub mod cache;
 pub mod directory;
 pub mod dram;
+pub mod linemap;
 pub mod request;
 pub mod stats;
 pub mod system;

@@ -1,0 +1,255 @@
+//! Open-addressed hash table keyed by [`LineAddr`].
+//!
+//! The directory and the global version-token store are the hottest
+//! maps in the simulator: every load, store, and invalidation performs
+//! at least one lookup. A general `HashMap` pays for SipHash-free
+//! hashing already (see `mmm_types::fastmap`), but still routes every
+//! probe through control-byte groups and `Option`-wrapped buckets.
+//! This table exploits what those maps cannot assume:
+//!
+//! * keys are plain 64-bit line addresses, never `u64::MAX` (the
+//!   machine's physical address space tops out far below 2^63), so a
+//!   sentinel key marks empty slots and no occupancy metadata exists;
+//! * values are small `Copy` records, so slots store them inline and a
+//!   probe touches exactly one cache line for the common hit.
+//!
+//! Collision policy is linear probing with backward-shift deletion —
+//! no tombstones, so load factor and probe lengths stay honest across
+//! the simulator's heavy insert/remove churn (directory entries come
+//! and go with every eviction).
+
+use mmm_types::LineAddr;
+
+/// Sentinel key marking an empty slot. Real line addresses are
+/// derived from physical addresses well below 2^63.
+const EMPTY: u64 = u64::MAX;
+
+/// SplitMix64 finalizer — same mixer as `mmm_types::fastmap`, inlined
+/// here so a probe is mix + mask with no `Hasher` plumbing.
+#[inline]
+fn mix(key: u64) -> u64 {
+    let mut x = key;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Open-addressed map from [`LineAddr`] to a small `Copy` value.
+#[derive(Clone, Debug)]
+pub struct LineMap<V> {
+    /// `(key, value)` slots; `key == EMPTY` marks a free slot.
+    slots: Vec<(u64, V)>,
+    /// Occupied slot count.
+    len: usize,
+    /// `slots.len() - 1`; capacity is always a power of two.
+    mask: usize,
+}
+
+impl<V: Copy + Default> Default for LineMap<V> {
+    fn default() -> Self {
+        Self::with_capacity_pow2(1024)
+    }
+}
+
+impl<V: Copy + Default> LineMap<V> {
+    /// Creates a map with `cap` slots (rounded up to a power of two).
+    pub fn with_capacity_pow2(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(16);
+        Self {
+            slots: vec![(EMPTY, V::default()); cap],
+            len: 0,
+            mask: cap - 1,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slot index for `key`, or of the first empty slot in its probe
+    /// chain if absent.
+    #[inline]
+    fn probe(&self, key: u64) -> usize {
+        let mut i = (mix(key) as usize) & self.mask;
+        loop {
+            let k = self.slots[i].0;
+            if k == key || k == EMPTY {
+                return i;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Looks up the value for `line`.
+    #[inline]
+    pub fn get(&self, line: LineAddr) -> Option<&V> {
+        let i = self.probe(line.0);
+        let (k, ref v) = self.slots[i];
+        (k != EMPTY).then_some(v)
+    }
+
+    /// Mutable lookup.
+    #[inline]
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut V> {
+        let i = self.probe(line.0);
+        if self.slots[i].0 == EMPTY {
+            return None;
+        }
+        Some(&mut self.slots[i].1)
+    }
+
+    /// Inserts or overwrites the value for `line`.
+    #[inline]
+    pub fn insert(&mut self, line: LineAddr, value: V) {
+        *self.entry_or_default(line) = value;
+    }
+
+    /// Returns a mutable reference to the value for `line`, inserting
+    /// `V::default()` first if absent.
+    #[inline]
+    pub fn entry_or_default(&mut self, line: LineAddr) -> &mut V {
+        debug_assert_ne!(line.0, EMPTY, "line address collides with sentinel");
+        let mut i = self.probe(line.0);
+        if self.slots[i].0 == EMPTY {
+            if (self.len + 1) * 8 > self.slots.len() * 7 {
+                self.grow();
+                i = self.probe(line.0);
+            }
+            self.slots[i] = (line.0, V::default());
+            self.len += 1;
+        }
+        &mut self.slots[i].1
+    }
+
+    /// Removes the entry for `line`, returning its value if present.
+    ///
+    /// Backward-shift deletion: slides the rest of the probe cluster
+    /// back over the hole so later lookups never traverse tombstones.
+    pub fn remove(&mut self, line: LineAddr) -> Option<V> {
+        let mut hole = self.probe(line.0);
+        if self.slots[hole].0 == EMPTY {
+            return None;
+        }
+        let removed = self.slots[hole].1;
+        self.len -= 1;
+        let mut i = hole;
+        loop {
+            i = (i + 1) & self.mask;
+            let (k, v) = self.slots[i];
+            if k == EMPTY {
+                break;
+            }
+            // If k's home slot lies outside the (home, hole] cluster
+            // arc, k cannot fill the hole; keep scanning.
+            let home = (mix(k) as usize) & self.mask;
+            let dist_home = i.wrapping_sub(home) & self.mask;
+            let dist_hole = i.wrapping_sub(hole) & self.mask;
+            if dist_home >= dist_hole {
+                self.slots[hole] = (k, v);
+                hole = i;
+            }
+        }
+        self.slots[hole] = (EMPTY, V::default());
+        Some(removed)
+    }
+
+    /// Doubles capacity and reinserts every live entry.
+    #[cold]
+    fn grow(&mut self) {
+        let doubled = vec![(EMPTY, V::default()); self.slots.len() * 2];
+        let old = std::mem::replace(&mut self.slots, doubled);
+        self.mask = self.slots.len() - 1;
+        for (k, v) in old {
+            if k != EMPTY {
+                let i = self.probe(k);
+                self.slots[i] = (k, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m: LineMap<u64> = LineMap::default();
+        assert!(m.is_empty());
+        m.insert(LineAddr(0x40), 7);
+        m.insert(LineAddr(0x80), 8);
+        assert_eq!(m.get(LineAddr(0x40)), Some(&7));
+        assert_eq!(m.get(LineAddr(0x80)), Some(&8));
+        assert_eq!(m.get(LineAddr(0xC0)), None);
+        assert_eq!(m.remove(LineAddr(0x40)), Some(7));
+        assert_eq!(m.get(LineAddr(0x40)), None);
+        assert_eq!(m.get(LineAddr(0x80)), Some(&8));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_keeps_len() {
+        let mut m: LineMap<u64> = LineMap::default();
+        m.insert(LineAddr(1), 1);
+        m.insert(LineAddr(1), 2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(LineAddr(1)), Some(&2));
+    }
+
+    #[test]
+    fn entry_or_default_inserts_once() {
+        let mut m: LineMap<u32> = LineMap::default();
+        *m.entry_or_default(LineAddr(5)) += 3;
+        *m.entry_or_default(LineAddr(5)) += 4;
+        assert_eq!(m.get(LineAddr(5)), Some(&7));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m: LineMap<u64> = LineMap::with_capacity_pow2(16);
+        for i in 0..10_000u64 {
+            m.insert(LineAddr(i * 64), i);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(LineAddr(i * 64)), Some(&i), "key {i}");
+        }
+    }
+
+    #[test]
+    fn removal_preserves_probe_chains() {
+        // Heavy churn over a colliding key set exercises the
+        // backward-shift path: correctness is checked against a
+        // reference HashMap.
+        use std::collections::HashMap;
+        let mut m: LineMap<u64> = LineMap::with_capacity_pow2(16);
+        let mut r: HashMap<u64, u64> = HashMap::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for step in 0..50_000 {
+            // xorshift64 — deterministic mixed insert/remove pattern.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 512; // small key space forces collisions
+            if step % 3 == 2 {
+                assert_eq!(m.remove(LineAddr(key)), r.remove(&key), "step {step}");
+            } else {
+                m.insert(LineAddr(key), step);
+                r.insert(key, step);
+            }
+        }
+        assert_eq!(m.len(), r.len());
+        for (&k, &v) in &r {
+            assert_eq!(m.get(LineAddr(k)), Some(&v));
+        }
+    }
+}

@@ -22,12 +22,12 @@
 //! lines marked `coherent = false`, and keep stores entirely local.
 
 use mmm_types::config::SystemConfig;
-use mmm_types::fastmap::FastMap;
 use mmm_types::{CoreId, Cycle, LineAddr};
 
 use crate::cache::{CacheLine, Mosi, SetAssocCache};
 use crate::directory::Directory;
 use crate::dram::Dram;
+use crate::linemap::LineMap;
 use crate::request::{initial_token, Access, Source, VersionToken};
 use crate::stats::MemStats;
 
@@ -54,8 +54,11 @@ pub struct MemorySystem {
     l2: Vec<SetAssocCache>,
     l3: SetAssocCache,
     dir: Directory,
-    versions: FastMap<LineAddr, VersionToken>,
+    versions: LineMap<VersionToken>,
     dram: Dram,
+    /// Reusable drain buffer for flush operations (avoids a fresh
+    /// allocation per [`MemorySystem::flush_mute`]).
+    scratch: Vec<CacheLine>,
     /// Busy horizon per L3/directory bank (optional contention model;
     /// unused when `bank_occupancy_cycles == 0`).
     bank_busy: Vec<Cycle>,
@@ -74,8 +77,9 @@ impl MemorySystem {
             l2: (0..n).map(|_| SetAssocCache::new(cfg.mem.l2)).collect(),
             l3: SetAssocCache::new(cfg.mem.l3),
             dir: Directory::new(),
-            versions: FastMap::default(),
+            versions: LineMap::default(),
             dram: Dram::new(cfg.mem.dram_latency, cfg.mem.dram_bytes_per_cycle),
+            scratch: Vec::new(),
             bank_busy: vec![0; cfg.mem.l3_banks as usize],
             stats: MemStats::new(),
         }
@@ -101,7 +105,7 @@ impl MemorySystem {
     /// The globally current version token of a line.
     pub fn current_version(&self, line: LineAddr) -> VersionToken {
         self.versions
-            .get(&line)
+            .get(line)
             .copied()
             .unwrap_or_else(|| initial_token(line))
     }
@@ -218,7 +222,6 @@ impl MemorySystem {
     /// hierarchy holds — possibly stale, which is how input
     /// incoherence enters the pipeline.
     pub fn load(&mut self, core: CoreId, line: LineAddr, coherent: bool, now: Cycle) -> Access {
-        let current = self.current_version(line);
         // A coherent request must not consume an incoherent leftover
         // (a copy cached while this core was a mute): discard it and
         // refetch through the protocol.
@@ -238,7 +241,9 @@ impl MemorySystem {
             let copy_coherent = l1line.coherent;
             if !coherent || copy_coherent {
                 self.stats.l1d_hits += 1;
-                if !copy_coherent && version != current {
+                // The global version is only consulted for incoherent
+                // copies — the common coherent hit skips the map lookup.
+                if !copy_coherent && version != self.current_version(line) {
                     self.stats.stale_mute_hits += 1;
                 }
                 return Access {
@@ -254,7 +259,7 @@ impl MemorySystem {
         if let Some(l2line) = self.l2[core.index()].lookup(line) {
             self.stats.l2_hits += 1;
             let copy = *l2line;
-            if !copy.coherent && copy.version != current {
+            if !copy.coherent && copy.version != self.current_version(line) {
                 self.stats.stale_mute_hits += 1;
             }
             self.l1d[core.index()].insert(copy);
@@ -410,9 +415,11 @@ impl MemorySystem {
                 // Upgrade S/O -> M.
                 self.stats.l2_hits += 1;
                 self.stats.upgrades += 1;
-                let kicked = self.dir.invalidate_others(line, core);
-                self.stats.invalidations += kicked.len() as u64;
-                for victim in kicked {
+                let mut kicked = self.dir.invalidate_others_mask(line, core);
+                self.stats.invalidations += kicked.count_ones() as u64;
+                while kicked != 0 {
+                    let victim = CoreId(kicked.trailing_zeros() as u16);
+                    kicked &= kicked - 1;
                     self.drop_core_line(victim, line);
                 }
                 let l2line = self.l2[core.index()]
@@ -447,9 +454,11 @@ impl MemorySystem {
         let in_l3 = self.l3.peek(line).is_some();
 
         // Invalidate every remote copy.
-        let kicked = self.dir.invalidate_others(line, core);
-        self.stats.invalidations += kicked.len() as u64;
-        for victim in kicked {
+        let mut kicked = self.dir.invalidate_others_mask(line, core);
+        self.stats.invalidations += kicked.count_ones() as u64;
+        while kicked != 0 {
+            let victim = CoreId(kicked.trailing_zeros() as u16);
+            kicked &= kicked - 1;
             self.drop_core_line(victim, line);
         }
 
@@ -622,24 +631,26 @@ impl MemorySystem {
     pub fn flush_mute(&mut self, core: CoreId, now: Cycle) -> FlushOutcome {
         let idx = core.index();
         let inspected = self.l2[idx].slot_count();
-        let incoherent = self.l2[idx].drain_matching(|l| !l.coherent);
-        let invalidated = incoherent.len();
-        for l in &incoherent {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.l2[idx].drain_matching_into(|l| !l.coherent, &mut scratch);
+        let invalidated = scratch.len();
+        for l in &scratch {
             self.l1d[idx].invalidate(l.addr);
             self.l1i[idx].invalidate(l.addr);
         }
         // Coherent dirty lines move to the L3 (normal eviction path).
-        let dirty: Vec<CacheLine> = self.l2[idx].drain_matching(|l| l.state.is_dirty());
-        let written_back = dirty.len();
-        for l in dirty {
+        self.l2[idx].drain_matching_into(|l| l.state.is_dirty(), &mut scratch);
+        let written_back = scratch.len() - invalidated;
+        for l in scratch.drain(invalidated..) {
             self.l1d[idx].invalidate(l.addr);
             self.l1i[idx].invalidate(l.addr);
             self.dir.remove_sharer(l.addr, core);
             self.install_l3(l, now);
         }
+        scratch.clear();
+        self.scratch = scratch;
         // Drop L1 incoherent leftovers wholesale (cheap CAM clear).
-        let l1_stale = self.l1d[idx].drain_matching(|l| !l.coherent);
-        let _ = l1_stale;
+        self.l1d[idx].discard_matching(|l| !l.coherent);
         let cycles = (inspected as u64).div_ceil(self.cfg.virt.flush_lines_per_cycle as u64)
             + written_back as u64;
         self.stats.flushes += 1;
@@ -662,9 +673,9 @@ impl MemorySystem {
     pub fn flash_invalidate_incoherent(&mut self, core: CoreId) -> usize {
         let idx = core.index();
 
-        self.l2[idx].drain_matching(|l| !l.coherent).len()
-            + self.l1d[idx].drain_matching(|l| !l.coherent).len()
-            + self.l1i[idx].drain_matching(|l| !l.coherent).len()
+        self.l2[idx].discard_matching(|l| !l.coherent)
+            + self.l1d[idx].discard_matching(|l| !l.coherent)
+            + self.l1i[idx].discard_matching(|l| !l.coherent)
     }
 
     /// Drops a line from a remote core's private hierarchy

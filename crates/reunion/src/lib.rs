@@ -28,8 +28,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod channel;
 pub mod pair;
+
+/// The fingerprint exchange channel now lives in `mmm-cpu` (the gate
+/// is devirtualized into the core's commit path); re-exported here so
+/// existing `mmm_reunion::channel::…` paths keep working.
+pub use mmm_cpu::channel;
 
 pub use channel::{PairChannel, PairStats, Side};
 pub use pair::DmrPair;

@@ -1,10 +1,11 @@
 //! Coupling two cores into a logical DMR pair.
 //!
 //! [`DmrPair::couple`] wires a vocal and a mute core around a shared
-//! [`PairChannel`]: both receive a clone of the same [`ExecContext`]
-//! (the streams are deterministic, so the clones generate identical
-//! instruction sequences), the mute is switched to incoherent memory
-//! requests, and both get a commit gate backed by the channel.
+//! [`PairChannel`]: both receive one side of an [`ExecContext::fork`]
+//! (the same deterministic op sequence, generated once and replayed
+//! through the fork's shared buffer), the mute is switched to
+//! incoherent memory requests, and both get a commit gate backed by
+//! the channel.
 //!
 //! [`DmrPair::decouple`] tears the pair down and returns the vocal's
 //! context — the architecturally authoritative one.
@@ -12,56 +13,25 @@
 //! The pair is agnostic of *which* cores are joined; MMM-TP re-pairs
 //! cores dynamically (paper §3.5).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use mmm_cpu::{CommitGate, Core, ExecContext};
-use mmm_mem::{MemorySystem, VersionToken};
+use mmm_cpu::{Core, ExecContext, Gate, PairGate};
+use mmm_mem::MemorySystem;
 use mmm_trace::{Event, Tracer};
 use mmm_types::config::ReunionConfig;
-use mmm_types::{CoreId, Cycle, LineAddr};
+use mmm_types::{CoreId, Cycle};
 
 use crate::channel::{PairChannel, PairStats, Side};
-
-/// One side's view of the shared channel, installed into a core as
-/// its [`CommitGate`].
-struct SideGate {
-    channel: Rc<RefCell<PairChannel>>,
-    side: Side,
-}
-
-impl CommitGate for SideGate {
-    fn on_dispatch(
-        &mut self,
-        seq: u64,
-        exec_done: Cycle,
-        load_obs: Option<(LineAddr, VersionToken)>,
-    ) {
-        self.channel
-            .borrow_mut()
-            .publish(self.side, seq, exec_done, load_obs);
-    }
-
-    fn commit_time(&mut self, seq: u64, now: Cycle) -> Option<Cycle> {
-        let mut ch = self.channel.borrow_mut();
-        ch.prune_below(seq);
-        ch.commit_time(seq, now)
-    }
-
-    fn si_resume_delay(&self) -> u32 {
-        self.channel.borrow().si_resume_delay()
-    }
-
-    fn on_squash(&mut self, from_seq: u64) {
-        self.channel.borrow_mut().on_squash(from_seq);
-    }
-}
 
 /// A live logical processing pair.
 pub struct DmrPair {
     vocal: CoreId,
     mute: CoreId,
     channel: Rc<RefCell<PairChannel>>,
+    /// Mirror of the channel's service flag: set when a heal or
+    /// mismatch is queued, cleared by [`DmrPair::service`].
+    dirty: Rc<Cell<bool>>,
     tracer: Tracer,
 }
 
@@ -74,27 +44,29 @@ impl DmrPair {
     pub fn couple(
         vocal: &mut Core,
         mute: &mut Core,
-        ctx: ExecContext,
+        mut ctx: ExecContext,
         cfg: &ReunionConfig,
     ) -> DmrPair {
         let channel = Rc::new(RefCell::new(PairChannel::new(*cfg, ctx.seq())));
-        let mute_ctx = ctx.clone();
+        let mute_ctx = ctx.fork();
         vocal.set_context(ctx);
         vocal.set_coherent(true);
-        vocal.set_gate(Some(Box::new(SideGate {
-            channel: Rc::clone(&channel),
-            side: Side::Vocal,
-        })));
+        vocal.set_gate_kind(Some(Gate::Pair(PairGate::new(
+            Rc::clone(&channel),
+            Side::Vocal,
+        ))));
         mute.set_context(mute_ctx);
         mute.set_coherent(false);
-        mute.set_gate(Some(Box::new(SideGate {
-            channel: Rc::clone(&channel),
-            side: Side::Mute,
-        })));
+        mute.set_gate_kind(Some(Gate::Pair(PairGate::new(
+            Rc::clone(&channel),
+            Side::Mute,
+        ))));
+        let dirty = channel.borrow().service_flag();
         DmrPair {
             vocal: vocal.id(),
             mute: mute.id(),
             channel,
+            dirty,
             tracer: Tracer::off(),
         }
     }
@@ -137,11 +109,15 @@ impl DmrPair {
     /// so re-execution refetches coherent data. Call once per
     /// simulation cycle (cheap when idle).
     pub fn service(&self, mem: &mut MemorySystem) {
-        let heals = self.channel.borrow_mut().take_heals();
+        if !self.dirty.get() {
+            return;
+        }
+        self.dirty.set(false);
+        let (heals, mismatches) = self.channel.borrow_mut().drain_service();
         for line in heals {
             mem.heal_line(self.mute, line);
         }
-        for (at, cause) in self.channel.borrow_mut().take_mismatches() {
+        for (at, cause) in mismatches {
             self.tracer.emit(at, || Event::CheckMismatch {
                 vocal: self.vocal,
                 mute: self.mute,

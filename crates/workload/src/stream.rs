@@ -242,13 +242,16 @@ impl OpStream {
     /// rest goes to the OS region, shared heap, or full private
     /// footprint, each with power-law reuse.
     fn data_address(&mut self, phase: &PhaseProfile, is_store: bool) -> PhysAddr {
-        let draws = self.draws[match self.privilege {
+        // Copy out only the (small, `Copy`) sampler each branch needs
+        // rather than cloning the whole `PhaseDraws` — this runs for
+        // every load and store the stream generates.
+        let di = match self.privilege {
             Privilege::User => 0,
             Privilege::Os => 1,
-        }]
-        .clone();
+        };
         if self.rng.chance(phase.p_hot) {
-            let idx = draws.hot.sample(&mut self.rng);
+            let hot = self.draws[di].hot;
+            let idx = hot.sample(&mut self.rng);
             let line = self.layout.private_line(self.vm, self.vcpu, idx);
             return PhysAddr(line.base().0 + self.rng.below(8) * 8);
         }
@@ -271,25 +274,28 @@ impl OpStream {
         } else {
             (phase.p_os_data, phase.p_shared)
         };
-        let os_draw = if is_store { &draws.os_store } else { &draws.os };
-        let shared_draw = if is_store {
-            &draws.shared_store
+        let os_draw = if is_store {
+            self.draws[di].os_store
         } else {
-            &draws.shared
+            self.draws[di].os
+        };
+        let shared_draw = if is_store {
+            self.draws[di].shared_store
+        } else {
+            self.draws[di].shared
         };
         let r = self.rng.unit();
-        let line = if r < p_os && os_draw.is_some() {
-            let pl = *os_draw.as_ref().expect("checked");
+        let line = if let Some(pl) = os_draw.filter(|_| r < p_os) {
             let raw = pl.sample(&mut self.rng);
             let idx = self.affine_index(raw, pl.n, phase, is_store);
             self.layout.os_line(self.vm, idx)
-        } else if r < p_os + p_shared && shared_draw.is_some() {
-            let pl = *shared_draw.as_ref().expect("checked");
+        } else if let Some(pl) = shared_draw.filter(|_| r < p_os + p_shared) {
             let raw = pl.sample(&mut self.rng);
             let idx = self.affine_index(raw, pl.n, phase, is_store);
             self.layout.shared_line(self.vm, idx)
         } else {
-            let idx = draws.private.sample(&mut self.rng);
+            let private = self.draws[di].private;
+            let idx = private.sample(&mut self.rng);
             self.layout.private_line(self.vm, self.vcpu, idx)
         };
         PhysAddr(line.base().0 + self.rng.below(8) * 8)

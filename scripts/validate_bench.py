@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Validate ``BENCH_*.json`` perf-baseline files.
+
+Usage: ``validate_bench.py <file> [<file> ...]``
+
+Each file must be a single JSON object (one line) with the schema
+written by ``perf_smoke``: identity fields, a positive measured cycle
+count, finite non-negative wall/throughput numbers, and a per-rep
+wall-seconds list consistent with the rep count. Exits non-zero
+(failing CI) on any malformed file. Uses only the Python standard
+library.
+"""
+
+import json
+import math
+import sys
+
+REQUIRED = {
+    "bench": str,
+    "config": str,
+    "benchmark": str,
+    "warmup_cycles": int,
+    "measured_cycles": int,
+    "wall_seconds": (int, float),
+    "sim_cycles_per_sec": (int, float),
+    "reps": int,
+    "rep_wall_seconds": list,
+    "git_describe": str,
+}
+
+
+def fail(msg: str) -> None:
+    print(f"validate_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            obj = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(obj, dict):
+        fail(f"{path}: expected an object, got {type(obj).__name__}")
+    for key, ty in REQUIRED.items():
+        if key not in obj:
+            fail(f"{path}: missing key {key!r}")
+        if not isinstance(obj[key], ty) or isinstance(obj[key], bool):
+            fail(f"{path}: {key!r} has type {type(obj[key]).__name__}")
+    if obj["measured_cycles"] <= 0:
+        fail(f"{path}: measured_cycles must be positive")
+    for key in ("wall_seconds", "sim_cycles_per_sec"):
+        v = float(obj[key])
+        if not math.isfinite(v) or v < 0.0:
+            fail(f"{path}: {key} must be finite and non-negative, got {v}")
+    if obj["reps"] < 1:
+        fail(f"{path}: reps must be >= 1")
+    walls = obj["rep_wall_seconds"]
+    if len(walls) != obj["reps"]:
+        fail(f"{path}: rep_wall_seconds has {len(walls)} entries, reps={obj['reps']}")
+    if not all(
+        isinstance(w, (int, float)) and math.isfinite(float(w)) and float(w) >= 0.0
+        for w in walls
+    ):
+        fail(f"{path}: rep_wall_seconds entries must be finite and non-negative")
+    if obj["wall_seconds"] > 0.0 and float(obj["wall_seconds"]) != min(
+        float(w) for w in walls
+    ):
+        fail(f"{path}: wall_seconds must be the fastest repetition")
+    print(
+        f"validate_bench: OK: {path}: {obj['sim_cycles_per_sec']:.0f} "
+        f"cycles/sec over {obj['measured_cycles']} cycles "
+        f"({obj['reps']} reps, {obj['git_describe']})"
+    )
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail("usage: validate_bench.py <BENCH_*.json> [...]")
+    for path in sys.argv[1:]:
+        validate(path)
+
+
+if __name__ == "__main__":
+    main()

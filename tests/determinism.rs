@@ -79,3 +79,71 @@ fn fault_injection_is_deterministic_too() {
     };
     assert_eq!(run(), run());
 }
+
+/// The report, canonicalized for cross-variant comparison: the
+/// wall-clock timing (and the throughput gauge derived from it) is the
+/// one host-dependent field, so it is zeroed before rendering.
+fn canonical_json(mut r: mixed_mode_multicore::mmm::SystemReport) -> String {
+    r.wall_seconds = 0.0;
+    r.to_json()
+}
+
+/// Reports must be bit-identical no matter how the simulation is
+/// hosted: worker-thread count of the experiment driver (`MMM_THREADS`
+/// takes any value) and event tracing on or off are observability /
+/// throughput knobs, not model inputs. One report per scheduler mode,
+/// compared across all variants as rendered JSON.
+#[test]
+fn report_is_invariant_across_threads_and_tracing() {
+    use mixed_mode_multicore::mmm::Experiment;
+    use mixed_mode_multicore::trace::Tracer;
+
+    let mut e = Experiment::default();
+    e.cfg.virt.timeslice_cycles = 120_000;
+    e.warmup = 20_000;
+    e.measure = 150_000;
+    e.seeds = vec![11, 12];
+    let modes = all_workloads();
+
+    // Baseline: sequential, untraced.
+    let baseline: Vec<Vec<String>> = modes
+        .iter()
+        .map(|&w| {
+            e.seeds
+                .iter()
+                .map(|&s| canonical_json(e.run_one(w, s).unwrap()))
+                .collect()
+        })
+        .collect();
+
+    // Same jobs through the shared work-queue at different pool sizes.
+    for threads in [1, 4] {
+        let many = e.run_many_on(&modes, threads).unwrap();
+        for (w, (run, expect)) in modes.iter().zip(many.iter().zip(&baseline)) {
+            let got: Vec<String> = run
+                .reports
+                .iter()
+                .map(|r| canonical_json(r.clone()))
+                .collect();
+            assert_eq!(
+                &got,
+                expect,
+                "{} must not depend on thread count ({threads})",
+                w.name()
+            );
+        }
+    }
+
+    // Tracing attached: identical reports, merely observed.
+    for (w, expect) in modes.iter().zip(&baseline) {
+        let mut sys = System::new(&e.cfg, *w, e.seeds[0]).unwrap();
+        sys.attach_tracer(Tracer::ring(1 << 12));
+        let r = sys.run_measured(e.warmup, e.measure);
+        assert_eq!(
+            canonical_json(r),
+            expect[0],
+            "{} must not depend on tracing",
+            w.name()
+        );
+    }
+}

@@ -135,25 +135,25 @@ fn fault_free_runs_report_no_fault_activity() {
 
 #[test]
 fn pab_demap_keeps_verdicts_consistent() {
-    use mixed_mode_multicore::mmm::{Pab, Pat};
+    use mixed_mode_multicore::mmm::{check_store, Pab, Pat};
     use mmm_types::{CoreId, PageAddr};
 
     let cfg = SystemConfig::default();
     let mut mem = mixed_mode_multicore::mem::MemorySystem::new(&cfg);
-    let mut pab = Pab::new(cfg.pab);
+    let pab = std::cell::RefCell::new(Pab::new(cfg.pab));
     let mut pat = Pat::new();
     let page = PageAddr(12_345);
     let line = page.first_line();
 
     // Initially writable by anyone.
-    let (_, v) = pab.check_store(CoreId(0), line, &pat, &mut mem, 0);
+    let (_, v) = check_store(&pab, CoreId(0), line, &pat, &mut mem, 0);
     assert_eq!(v, mixed_mode_multicore::mmm::PabVerdict::Allowed);
 
     // System software reassigns the page to a reliable app: PAT
     // updated, TLB demapped, PAB invalidated via the demap hook.
     pat.set_reliable(page, true);
-    pab.on_demap(page, &pat);
-    let (_, v) = pab.check_store(CoreId(0), line, &pat, &mut mem, 1000);
+    pab.borrow_mut().on_demap(pat.backing_line(page));
+    let (_, v) = check_store(&pab, CoreId(0), line, &pat, &mut mem, 1000);
     assert_eq!(
         v,
         mixed_mode_multicore::mmm::PabVerdict::Violation,
