@@ -11,6 +11,7 @@
 
 use mmm_bench::export::{json_mode, traced_run, JsonExport};
 use mmm_bench::{banner, experiment_sized};
+use mmm_core::fault::CampaignTelemetry;
 use mmm_core::report::print_table;
 use mmm_core::{MixedPolicy, Workload};
 use mmm_workload::Benchmark;
@@ -26,6 +27,7 @@ fn main() {
 
     let mut export = JsonExport::new("fault_coverage");
     let mut rows = Vec::new();
+    let mut site_rows = Vec::new();
     for rate in [1e-7, 1e-6, 1e-5, 5e-5] {
         let mut er = e.clone();
         er.fault_rate = Some(rate);
@@ -56,6 +58,34 @@ fn main() {
             rel_tp += r.vm_user_commits(mmm_types::VmId(0)) as f64 / r.cycles as f64;
         }
         rel_tp /= run.reports.len() as f64;
+        // Campaign telemetry, merged across seeds.
+        let mut tel = CampaignTelemetry::default();
+        for r in &run.reports {
+            if let Some(t) = &r.fault_telemetry {
+                tel.merge(t);
+            }
+        }
+        for (site, s) in tel.sites() {
+            let lat = &s.detection_latency;
+            site_rows.push(vec![
+                format!("{rate:.0e}"),
+                site.label().to_string(),
+                s.injected.to_string(),
+                s.detected.to_string(),
+                s.masked.to_string(),
+                s.escaped.to_string(),
+                if lat.count() > 0 {
+                    format!("{:.0}", lat.mean())
+                } else {
+                    "-".to_string()
+                },
+                if lat.count() > 0 {
+                    lat.percentile(99.0).to_string()
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
         let escapes = injected - dmr - blocked - perf_dom - caught - idle;
         rows.push(vec![
             format!("{rate:.0e}"),
@@ -98,6 +128,22 @@ fn main() {
             "reliable VM TP",
         ],
         &rows,
+    );
+    print_table(
+        "Per-site campaign telemetry (merged across seeds). 'detected' counts every \
+         hardware catch; latency is injection-to-detection in cycles, attributable \
+         detections only.",
+        &[
+            "rate/core/cyc",
+            "site",
+            "injected",
+            "detected",
+            "masked",
+            "escaped",
+            "lat mean",
+            "lat p99",
+        ],
+        &site_rows,
     );
     println!(
         "\nThe invariant to check: no row ever attributes a fault to reliable-domain \

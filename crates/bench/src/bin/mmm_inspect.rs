@@ -1,0 +1,547 @@
+//! Run-export diff tool and regression gate.
+//!
+//! `mmm-inspect` loads two run exports — report JSONL
+//! (`results/<bin>.jsonl`), metrics time-series JSONL
+//! (`results/<bin>.metrics.jsonl`), or a `BENCH_hotloop.json` perf
+//! baseline — flattens each into `metric -> number`, and diffs them
+//! with a configurable relative threshold:
+//!
+//! ```text
+//! mmm-inspect A.json B.json [--threshold 0.15] [--only SUBSTR]...
+//!             [--direction both|down|up] [--json] [--force]
+//! ```
+//!
+//! The two files must be the same kind and describe comparable runs:
+//! the identity block (config, benchmark, scheduler, thread count;
+//! cycle budgets for bench baselines) must match or the tool refuses
+//! with exit code 2 (`--force` compares anyway). Host-dependent fields
+//! (wall seconds, cycles/sec, timestamp, host) are excluded from the
+//! default comparison; select them explicitly with `--only`, which
+//! restricts the comparison to metrics containing a given substring.
+//!
+//! `--direction down` fails only on decreases, `up` only on increases
+//! (`both`, the default, gates the absolute change). Exit codes: 0 —
+//! no compared metric crossed the threshold; 1 — at least one did;
+//! 2 — unusable input or identity mismatch.
+//!
+//! CI uses this as the perf regression gate:
+//!
+//! ```text
+//! mmm-inspect baseline/BENCH_hotloop.json BENCH_hotloop.json \
+//!     --only sim_cycles_per_sec --direction down --threshold 0.15
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use mmm_core::report::print_table;
+use mmm_trace::Json;
+
+/// Which way a change must point to trip the gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Direction {
+    /// Gate on the absolute relative change.
+    Both,
+    /// Gate on decreases only (e.g. throughput regressions).
+    Down,
+    /// Gate on increases only (e.g. latency regressions).
+    Up,
+}
+
+/// Parsed command line.
+struct Options {
+    /// Baseline export path.
+    a: String,
+    /// Candidate export path.
+    b: String,
+    /// Relative-change threshold (0.15 = 15%).
+    threshold: f64,
+    /// Substring filters; empty means "every default metric".
+    only: Vec<String>,
+    /// Gated direction.
+    direction: Direction,
+    /// Emit a JSON verdict instead of tables.
+    json: bool,
+    /// Compare even when the identity blocks differ.
+    force: bool,
+}
+
+fn usage() -> String {
+    "usage: mmm-inspect <A> <B> [--threshold F] [--only SUBSTR]... \
+     [--direction both|down|up] [--json] [--force]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut paths = Vec::new();
+    let mut opts = Options {
+        a: String::new(),
+        b: String::new(),
+        threshold: 0.15,
+        only: Vec::new(),
+        direction: Direction::Both,
+        json: false,
+        force: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--threshold needs a value".to_string())?;
+                opts.threshold = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| format!("bad threshold {v:?}"))?;
+            }
+            "--only" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--only needs a value".to_string())?;
+                opts.only.push(v.clone());
+            }
+            "--direction" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--direction needs a value".to_string())?;
+                opts.direction = match v.as_str() {
+                    "both" => Direction::Both,
+                    "down" => Direction::Down,
+                    "up" => Direction::Up,
+                    _ => return Err(format!("bad direction {v:?} (both|down|up)")),
+                };
+            }
+            "--json" => opts.json = true,
+            "--force" => opts.force = true,
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}\n{}", usage()))
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        return Err(usage());
+    }
+    opts.a = paths.remove(0);
+    opts.b = paths.remove(0);
+    Ok(opts)
+}
+
+/// The kind of export a file holds, detected from its first line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    /// Per-seed `SystemReport` lines (`results/<bin>.jsonl`).
+    Report,
+    /// A `BENCH_hotloop.json` perf-baseline line.
+    Bench,
+    /// A sampled metrics time-series (`results/<bin>.metrics.jsonl`).
+    Series,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Report => "report",
+            Kind::Bench => "bench",
+            Kind::Series => "metrics-series",
+        }
+    }
+}
+
+/// One loaded export: its kind, the identity block that must match for
+/// two files to be comparable, and the flattened numeric metrics.
+struct RunFile {
+    kind: Kind,
+    identity: Vec<(String, String)>,
+    metrics: BTreeMap<String, f64>,
+}
+
+fn load(path: &str) -> Result<RunFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let lines: Vec<Json> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| Json::parse(l).map_err(|e| format!("{path}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let first = lines.first().ok_or_else(|| format!("{path}: empty file"))?;
+    let kind = if first.get("bench").is_some() {
+        Kind::Bench
+    } else if first.get("interval").is_some() && first.get("samples").is_some() {
+        Kind::Series
+    } else if first.get("metrics").is_some() {
+        Kind::Report
+    } else {
+        return Err(format!("{path}: not a recognised run export"));
+    };
+    match kind {
+        Kind::Bench => bench_file(path, &lines),
+        Kind::Report => report_file(path, &lines),
+        Kind::Series => series_file(path, &lines),
+    }
+}
+
+fn ident_str(v: Option<&Json>) -> String {
+    match v {
+        Some(Json::Str(s)) => s.clone(),
+        Some(other) => other.render(),
+        None => "<missing>".to_string(),
+    }
+}
+
+fn bench_file(path: &str, lines: &[Json]) -> Result<RunFile, String> {
+    if lines.len() != 1 {
+        return Err(format!(
+            "{path}: expected one bench line, got {}",
+            lines.len()
+        ));
+    }
+    let line = &lines[0];
+    let identity = [
+        "bench",
+        "config",
+        "benchmark",
+        "warmup_cycles",
+        "measured_cycles",
+    ]
+    .iter()
+    .map(|k| (k.to_string(), ident_str(line.get(k))))
+    .collect();
+    let mut metrics = BTreeMap::new();
+    for (k, v) in line.as_obj().unwrap_or(&[]) {
+        if let Some(n) = v.as_f64() {
+            metrics.insert(k.clone(), n);
+        }
+    }
+    Ok(RunFile {
+        kind: Kind::Bench,
+        identity,
+        metrics,
+    })
+}
+
+fn report_file(path: &str, lines: &[Json]) -> Result<RunFile, String> {
+    let mut identity = Vec::new();
+    let mut metrics = BTreeMap::new();
+    for (i, line) in lines.iter().enumerate() {
+        let prefix = if lines.len() > 1 {
+            format!("#{i}.")
+        } else {
+            String::new()
+        };
+        for k in ["config", "benchmark", "scheduler", "threads", "cycles"] {
+            identity.push((format!("{prefix}{k}"), ident_str(line.get(k))));
+        }
+        if let Some(vcpus) = line.get("vcpus").and_then(Json::as_arr) {
+            for v in vcpus {
+                let id = v.get("vcpu").and_then(Json::as_u64).unwrap_or(0);
+                for field in ["user_commits", "os_commits", "unprotected_commits"] {
+                    if let Some(n) = v.get(field).and_then(Json::as_f64) {
+                        metrics.insert(format!("{prefix}vcpu{id}.{field}"), n);
+                    }
+                }
+            }
+        }
+        let m = line
+            .get("metrics")
+            .ok_or_else(|| format!("{path}: report line {i} has no metrics"))?;
+        for group in ["counters", "gauges"] {
+            for (name, v) in m.get(group).and_then(Json::as_obj).unwrap_or(&[]) {
+                if let Some(n) = v.as_f64() {
+                    metrics.insert(format!("{prefix}{name}"), n);
+                }
+            }
+        }
+        for (group, fields) in [
+            ("histograms", &["count", "mean", "max", "p50", "p99"][..]),
+            ("stats", &["count", "mean", "stddev", "ci95"][..]),
+        ] {
+            for (name, h) in m.get(group).and_then(Json::as_obj).unwrap_or(&[]) {
+                for field in fields {
+                    if let Some(n) = h.get(field).and_then(Json::as_f64) {
+                        metrics.insert(format!("{prefix}{name}.{field}"), n);
+                    }
+                }
+            }
+        }
+    }
+    Ok(RunFile {
+        kind: Kind::Report,
+        identity,
+        metrics,
+    })
+}
+
+/// Flattens a time-series to per-metric aggregates: counters sum their
+/// per-interval deltas (= the cumulative total), gauges keep their
+/// last value, histograms expose the total observation count and the
+/// overall max.
+fn series_file(path: &str, lines: &[Json]) -> Result<RunFile, String> {
+    let header = &lines[0];
+    let identity = ["interval", "config", "benchmark", "samples"]
+        .iter()
+        .map(|k| (k.to_string(), ident_str(header.get(k))))
+        .collect();
+    let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
+    for (i, sample) in lines[1..].iter().enumerate() {
+        if sample.get("at").is_none() {
+            return Err(format!("{path}: sample line {i} has no \"at\""));
+        }
+        for (name, v) in sample.get("counters").and_then(Json::as_obj).unwrap_or(&[]) {
+            if let Some(n) = v.as_f64() {
+                *metrics.entry(name.clone()).or_insert(0.0) += n;
+            }
+        }
+        for (name, v) in sample.get("gauges").and_then(Json::as_obj).unwrap_or(&[]) {
+            if let Some(n) = v.as_f64() {
+                metrics.insert(name.clone(), n);
+            }
+        }
+        for (name, h) in sample
+            .get("histograms")
+            .and_then(Json::as_obj)
+            .unwrap_or(&[])
+        {
+            if let Some(c) = h.get("count").and_then(Json::as_f64) {
+                *metrics.entry(format!("{name}.count")).or_insert(0.0) += c;
+            }
+            if let Some(mx) = h.get("max").and_then(Json::as_f64) {
+                let e = metrics.entry(format!("{name}.max")).or_insert(0.0);
+                *e = e.max(mx);
+            }
+        }
+    }
+    Ok(RunFile {
+        kind: Kind::Series,
+        identity,
+        metrics,
+    })
+}
+
+/// Host-dependent metrics are noise, not regressions; they only enter
+/// the comparison when `--only` names them explicitly.
+fn host_dependent(name: &str) -> bool {
+    ["wall_seconds", "sim_cycles_per_sec", "timestamp", "host"]
+        .iter()
+        .any(|s| name.contains(s))
+}
+
+/// One compared metric.
+struct Row {
+    name: String,
+    a: f64,
+    b: f64,
+    /// Relative change `(b - a) / a`; ±inf when a is 0 and b is not.
+    rel: f64,
+    fail: bool,
+}
+
+fn compare(a: &RunFile, b: &RunFile, opts: &Options) -> Vec<Row> {
+    let mut names: Vec<&String> = a.metrics.keys().chain(b.metrics.keys()).collect();
+    names.sort();
+    names.dedup();
+    let mut rows = Vec::new();
+    for name in names {
+        if opts.only.is_empty() {
+            if host_dependent(name) {
+                continue;
+            }
+        } else if !opts.only.iter().any(|s| name.contains(s.as_str())) {
+            continue;
+        }
+        // A metric absent on one side is an observed zero (series lines
+        // omit counters that did not move).
+        let va = a.metrics.get(name).copied().unwrap_or(0.0);
+        let vb = b.metrics.get(name).copied().unwrap_or(0.0);
+        if va == 0.0 && vb == 0.0 {
+            continue;
+        }
+        let rel = if va != 0.0 {
+            (vb - va) / va
+        } else {
+            f64::INFINITY * vb.signum()
+        };
+        let fail = match opts.direction {
+            Direction::Both => rel.abs() > opts.threshold,
+            Direction::Down => rel < -opts.threshold,
+            Direction::Up => rel > opts.threshold,
+        };
+        rows.push(Row {
+            name: name.clone(),
+            a: va,
+            b: vb,
+            rel,
+            fail,
+        });
+    }
+    rows
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn fmt_rel(rel: f64) -> String {
+    if rel.is_infinite() {
+        if rel > 0.0 { "+inf%" } else { "-inf%" }.to_string()
+    } else {
+        format!("{:+.2}%", rel * 100.0)
+    }
+}
+
+fn direction_name(d: Direction) -> &'static str {
+    match d {
+        Direction::Both => "both",
+        Direction::Down => "down",
+        Direction::Up => "up",
+    }
+}
+
+fn print_human(rows: &[Row], opts: &Options, kind: Kind) {
+    let failed: Vec<&Row> = rows.iter().filter(|r| r.fail).collect();
+    let to_cells = |r: &Row| {
+        vec![
+            r.name.clone(),
+            fmt_num(r.a),
+            fmt_num(r.b),
+            fmt_rel(r.rel),
+            if r.fail { "FAIL" } else { "ok" }.to_string(),
+        ]
+    };
+    if !failed.is_empty() {
+        print_table(
+            &format!(
+                "Metrics over threshold ({:.0}%, direction {})",
+                opts.threshold * 100.0,
+                direction_name(opts.direction)
+            ),
+            &["metric", "A", "B", "change", "gate"],
+            &failed.iter().map(|r| to_cells(r)).collect::<Vec<_>>(),
+        );
+    }
+    let mut moved: Vec<&Row> = rows.iter().filter(|r| !r.fail && r.rel != 0.0).collect();
+    moved.sort_by(|x, y| {
+        y.rel
+            .abs()
+            .partial_cmp(&x.rel.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    if !moved.is_empty() {
+        let shown = moved.len().min(20);
+        print_table(
+            &format!(
+                "Largest within-threshold changes ({} of {} moved metrics)",
+                shown,
+                moved.len()
+            ),
+            &["metric", "A", "B", "change", "gate"],
+            &moved[..shown]
+                .iter()
+                .map(|r| to_cells(r))
+                .collect::<Vec<_>>(),
+        );
+    }
+    println!(
+        "\nmmm-inspect: {} vs {} ({}): {} metrics compared, {} moved, {} over threshold",
+        opts.a,
+        opts.b,
+        kind.name(),
+        rows.len(),
+        rows.iter().filter(|r| r.rel != 0.0).count(),
+        failed.len()
+    );
+}
+
+fn print_json(rows: &[Row], opts: &Options, kind: Kind) {
+    let metrics = rows
+        .iter()
+        .filter(|r| r.fail || r.rel != 0.0)
+        .map(|r| {
+            Json::obj([
+                ("name", Json::str(r.name.clone())),
+                ("a", Json::F64(r.a)),
+                ("b", Json::F64(r.b)),
+                ("rel", Json::F64(r.rel)),
+                ("fail", Json::Bool(r.fail)),
+            ])
+        })
+        .collect();
+    let out = Json::obj([
+        ("a", Json::str(opts.a.clone())),
+        ("b", Json::str(opts.b.clone())),
+        ("kind", Json::str(kind.name())),
+        ("threshold", Json::F64(opts.threshold)),
+        ("direction", Json::str(direction_name(opts.direction))),
+        ("compared", Json::U64(rows.len() as u64)),
+        (
+            "failed",
+            Json::U64(rows.iter().filter(|r| r.fail).count() as u64),
+        ),
+        ("metrics", Json::Arr(metrics)),
+    ]);
+    println!("{}", out.render());
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let a = load(&opts.a)?;
+    let b = load(&opts.b)?;
+    if a.kind != b.kind {
+        return Err(format!(
+            "{} is a {} export but {} is a {} export",
+            opts.a,
+            a.kind.name(),
+            opts.b,
+            b.kind.name()
+        ));
+    }
+    if a.identity != b.identity {
+        let describe = |f: &RunFile| {
+            f.identity
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let msg = format!(
+            "runs are not comparable:\n  A: {}\n  B: {}",
+            describe(&a),
+            describe(&b)
+        );
+        if !opts.force {
+            return Err(format!("{msg}\n(--force compares anyway)"));
+        }
+        eprintln!("mmm-inspect: {msg}\nmmm-inspect: --force given, comparing anyway");
+    }
+    let rows = compare(&a, &b, opts);
+    if opts.json {
+        print_json(&rows, opts, a.kind);
+    } else {
+        print_human(&rows, opts, a.kind);
+    }
+    Ok(rows.iter().any(|r| r.fail))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("mmm-inspect: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("mmm-inspect: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

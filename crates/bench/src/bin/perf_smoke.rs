@@ -6,7 +6,7 @@
 //! The result is appended to stdout and written to
 //! `BENCH_hotloop.json` at the repo root so successive PRs leave a
 //! tracked perf baseline (schema: config, cycles/sec, wall seconds,
-//! git describe).
+//! git describe, Unix timestamp, host name).
 //!
 //! Cycle budget honours `MMM_WARMUP` / `MMM_MEASURE` like every other
 //! bench binary, defaulting to 500 k warm-up + 2 M measured cycles;
@@ -33,6 +33,34 @@ fn git_describe() -> String {
         .filter(|o| o.status.success())
         .and_then(|o| String::from_utf8(o.stdout).ok())
         .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Seconds since the Unix epoch at invocation. Host state enters the
+/// baseline only here, in the harness — never inside the simulator,
+/// whose outputs stay bit-identical.
+fn unix_timestamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Best-effort host name: `$HOSTNAME`, else `hostname(1)`, else
+/// `"unknown"`.
+fn host_name() -> String {
+    if let Ok(h) = std::env::var("HOSTNAME") {
+        if !h.trim().is_empty() {
+            return h.trim().to_string();
+        }
+    }
+    std::process::Command::new("hostname")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_string())
 }
 
@@ -85,6 +113,8 @@ fn main() -> mmm_types::Result<()> {
             Json::Arr(walls.iter().map(|&w| Json::F64(w)).collect()),
         ),
         ("git_describe", Json::str(git_describe())),
+        ("timestamp", Json::U64(unix_timestamp())),
+        ("host", Json::str(host_name())),
     ])
     .render();
 

@@ -7,15 +7,17 @@
 //!   (JSONL — pipe into `scripts/validate_trace.py` or any analysis
 //!   tool);
 //! * writes the same lines to `results/<bin>.jsonl`;
-//! * performs one short, deterministic traced run and writes
-//!   `results/<bin>.trace.json` in Chrome trace-event format, viewable
-//!   at <https://ui.perfetto.dev> as per-core mode/event timelines.
+//! * performs one short, deterministic traced run with the flight
+//!   recorder attached and writes `results/<bin>.trace.json` in Chrome
+//!   trace-event format (per-core mode/event timelines plus metrics
+//!   counter tracks, viewable at <https://ui.perfetto.dev>) and
+//!   `results/<bin>.metrics.jsonl`, the sampled metrics time-series.
 
 use std::fs;
 use std::path::Path;
 
 use mmm_core::{RunResult, System, Workload};
-use mmm_trace::{chrome_trace, Tracer};
+use mmm_trace::{chrome_trace_with_counters, Sampler, Tracer};
 use mmm_types::SystemConfig;
 
 /// True when the process was invoked with `--json`.
@@ -32,22 +34,48 @@ pub const TRACE_RING: usize = 1 << 16;
 /// `results/<bin>.trace.json`.
 pub const TRACE_CYCLES: u64 = 150_000;
 
+/// Flight-recorder cadence of the traced run: 10 k simulated cycles
+/// per sample, 15 samples over [`TRACE_CYCLES`].
+pub const SAMPLE_INTERVAL: u64 = 10_000;
+
+/// The artifacts of one deterministic traced run.
+pub struct TracedRun {
+    /// Chrome trace-event document (mode timelines + counter tracks).
+    pub trace_json: String,
+    /// Sampled metrics time-series as JSONL.
+    pub metrics_jsonl: String,
+}
+
 /// Runs `workload` from reset for [`TRACE_CYCLES`] cycles with tracing
-/// on and returns the Chrome trace-event document. Deterministic for a
-/// fixed `(cfg, workload, seed, fault_rate)`.
+/// and the flight recorder on, returning the Chrome trace-event
+/// document (with metrics counter tracks appended) and the sampled
+/// metrics time-series. Deterministic for a fixed `(cfg, workload,
+/// seed, fault_rate)`.
 pub fn traced_run(
     cfg: &SystemConfig,
     workload: Workload,
     seed: u64,
     fault_rate: Option<f64>,
-) -> String {
+) -> TracedRun {
     let mut sys = System::new(cfg, workload, seed).expect("traced run builds");
     if let Some(rate) = fault_rate {
         sys.enable_fault_injection(rate, seed ^ 0xF417);
     }
     sys.attach_tracer(Tracer::ring(TRACE_RING));
+    sys.attach_sampler(Sampler::every(SAMPLE_INTERVAL));
     sys.run(TRACE_CYCLES);
-    chrome_trace(&sys.tracer().snapshot(), cfg.cores as usize, sys.now())
+    let series = sys.sampler().series().expect("sampler attached");
+    let trace_json = chrome_trace_with_counters(
+        &sys.tracer().snapshot(),
+        cfg.cores as usize,
+        sys.now(),
+        &series,
+    );
+    let metrics_jsonl = series.to_jsonl(workload.name(), workload.benchmark().name());
+    TracedRun {
+        trace_json,
+        metrics_jsonl,
+    }
 }
 
 /// Collects JSONL report lines and writes a bin's export artifacts.
@@ -73,11 +101,11 @@ impl JsonExport {
     }
 
     /// Prints the collected JSONL to stdout and writes
-    /// `results/<bin>.jsonl` plus `results/<bin>.trace.json` (pass a
-    /// document from [`traced_run`]). File-system errors are reported
-    /// on stderr but never fail the run — stdout already carries the
-    /// data.
-    pub fn finish(self, trace_json: &str) {
+    /// `results/<bin>.jsonl`, `results/<bin>.trace.json`, and
+    /// `results/<bin>.metrics.jsonl` (pass the artifacts from
+    /// [`traced_run`]). File-system errors are reported on stderr but
+    /// never fail the run — stdout already carries the data.
+    pub fn finish(self, traced: &TracedRun) {
         for line in &self.lines {
             println!("{line}");
         }
@@ -88,17 +116,22 @@ impl JsonExport {
         }
         let jsonl_path = dir.join(format!("{}.jsonl", self.name));
         let trace_path = dir.join(format!("{}.trace.json", self.name));
+        let metrics_path = dir.join(format!("{}.metrics.jsonl", self.name));
         let jsonl = self.lines.join("\n") + "\n";
         if let Err(e) = fs::write(&jsonl_path, jsonl) {
             eprintln!("{}: {e}", jsonl_path.display());
         }
-        if let Err(e) = fs::write(&trace_path, trace_json) {
+        if let Err(e) = fs::write(&trace_path, &traced.trace_json) {
             eprintln!("{}: {e}", trace_path.display());
         }
+        if let Err(e) = fs::write(&metrics_path, &traced.metrics_jsonl) {
+            eprintln!("{}: {e}", metrics_path.display());
+        }
         eprintln!(
-            "wrote {} and {}",
+            "wrote {}, {} and {}",
             jsonl_path.display(),
-            trace_path.display()
+            trace_path.display(),
+            metrics_path.display()
         );
     }
 }
@@ -114,9 +147,29 @@ mod tests {
         let w = Workload::ReunionDmr(Benchmark::Apache);
         let a = traced_run(&cfg, w, 1, None);
         let b = traced_run(&cfg, w, 1, None);
-        assert_eq!(a, b, "same seed must produce an identical trace");
-        assert!(a.starts_with("{\"traceEvents\":["));
-        assert!(a.contains("\"dmr-vocal V0\""), "mode slices present");
-        assert!(a.ends_with("\"displayTimeUnit\":\"ns\"}"));
+        assert_eq!(
+            a.trace_json, b.trace_json,
+            "same seed must produce an identical trace"
+        );
+        assert_eq!(a.metrics_jsonl, b.metrics_jsonl);
+        assert!(a.trace_json.starts_with("{\"traceEvents\":["));
+        assert!(
+            a.trace_json.contains("\"dmr-vocal V0\""),
+            "mode slices present"
+        );
+        assert!(a.trace_json.contains("\"ph\":\"C\""), "counter tracks");
+        assert!(a.trace_json.ends_with("\"displayTimeUnit\":\"ns\"}"));
+        let lines: Vec<&str> = a.metrics_jsonl.lines().collect();
+        assert_eq!(
+            lines.len() as u64,
+            1 + TRACE_CYCLES / SAMPLE_INTERVAL,
+            "header + one line per boundary"
+        );
+        assert!(lines[0].contains("\"interval\":10000"), "{}", lines[0]);
+        assert!(
+            lines[1].contains("\"reunion.ops_compared\""),
+            "{}",
+            lines[1]
+        );
     }
 }

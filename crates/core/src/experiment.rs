@@ -16,9 +16,13 @@
 //! * `MMM_THREADS` — worker threads for [`Experiment::run_many`]
 //!   (default: available parallelism). Reports are bit-identical at
 //!   any thread count — each run is a sealed deterministic simulation.
+//! * `MMM_SAMPLE_INTERVAL` — flight-recorder sampling interval in
+//!   simulated cycles (default: off). Sampling never changes
+//!   simulated timing or reported metrics.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use mmm_trace::Sampler;
 use mmm_types::stats::mean_ci95;
 use mmm_types::{Result, SystemConfig};
 
@@ -52,6 +56,13 @@ pub struct Experiment {
     pub seeds: Vec<u64>,
     /// Optional fault-injection rate (faults per core-cycle).
     pub fault_rate: Option<f64>,
+    /// Flight-recorder sampling interval in simulated cycles (`None`:
+    /// sampler off). When set, each run carries a
+    /// [`SystemReport::series`] time-series.
+    pub sample_interval: Option<u64>,
+    /// Cycle fast-forwarding (default on). The determinism suite
+    /// turns it off to prove results are skip-invariant.
+    pub cycle_skipping: bool,
 }
 
 impl Default for Experiment {
@@ -62,6 +73,8 @@ impl Default for Experiment {
             measure: 400_000,
             seeds: vec![1, 2, 3],
             fault_rate: None,
+            sample_interval: None,
+            cycle_skipping: true,
         }
     }
 }
@@ -82,6 +95,10 @@ impl Experiment {
         e.measure = env_u64("MMM_MEASURE", e.measure);
         let seeds = env_u64("MMM_SEEDS", e.seeds.len() as u64).max(1);
         e.seeds = (1..=seeds).collect();
+        e.sample_interval = std::env::var("MMM_SAMPLE_INTERVAL")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &u64| n > 0);
         e
     }
 
@@ -91,6 +108,10 @@ impl Experiment {
         if let Some(rate) = self.fault_rate {
             sys.enable_fault_injection(rate, seed ^ 0xF417);
         }
+        if let Some(interval) = self.sample_interval {
+            sys.attach_sampler(Sampler::every(interval));
+        }
+        sys.set_cycle_skipping(self.cycle_skipping);
         Ok(sys.run_measured(self.warmup, self.measure))
     }
 
@@ -275,6 +296,29 @@ mod tests {
         let (m, hw) = r.throughput();
         assert!(m.is_finite() && hw.is_finite());
         assert!(m > 0.0);
+    }
+
+    #[test]
+    fn sampling_and_skip_are_observability_knobs() {
+        let w = Workload::NoDmr(Benchmark::Pmake);
+        let mut e = tiny();
+        let mut plain = e.run_one(w, 1).unwrap();
+        e.sample_interval = Some(10_000);
+        e.cycle_skipping = false;
+        let mut sampled = e.run_one(w, 1).unwrap();
+        // Wall timing (and the gauge derived from it) is the one
+        // host-dependent field; zero it before comparing.
+        plain.wall_seconds = 0.0;
+        sampled.wall_seconds = 0.0;
+        let series = sampled.series.take().expect("sampler attached");
+        assert_eq!(
+            plain.to_json(),
+            sampled.to_json(),
+            "sampling + skip-off must not change the report"
+        );
+        assert_eq!(series.interval, 10_000);
+        assert_eq!(series.samples.len(), 4, "40k measured / 10k cadence");
+        assert!(series.samples.iter().all(|s| !s.counters.is_empty()));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //!   tolerated by assumption for performance applications;
 //! * a fault on an idle core → no effect.
 
+use mmm_types::stats::Log2Histogram;
 use mmm_types::{CoreId, Cycle, DetRng};
 
 /// Hardware site struck by a transient fault.
@@ -37,6 +38,103 @@ pub enum FaultSite {
     TlbPermission,
     /// A privileged register.
     PrivReg,
+}
+
+impl FaultSite {
+    /// Stable lowercase label used in metric names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::CoreLogic => "core_logic",
+            FaultSite::TlbPermission => "tlb_permission",
+            FaultSite::PrivReg => "priv_reg",
+        }
+    }
+
+    /// All sites, in label order of the campaign report.
+    pub fn all() -> [FaultSite; 3] {
+        [
+            FaultSite::CoreLogic,
+            FaultSite::TlbPermission,
+            FaultSite::PrivReg,
+        ]
+    }
+}
+
+/// Per-site campaign telemetry: outcome tallies plus the
+/// injection-to-detection latency distribution for the detected ones.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SiteTelemetry {
+    /// Faults injected at this site.
+    pub injected: u64,
+    /// Faults whose effect was caught by a hardware check (DMR
+    /// fingerprint mismatch, PAB block, Enter-DMR verification).
+    pub detected: u64,
+    /// Faults with no architectural effect (idle core, or a silent
+    /// performance-domain upset tolerated by assumption).
+    pub masked: u64,
+    /// Faults that corrupted state no check covers (wild stores into
+    /// unprotected performance-domain pages).
+    pub escaped: u64,
+    /// Injection-to-detection latency in cycles, one observation per
+    /// detected fault whose detection event could be attributed back
+    /// to its injection (coincident injections merge into one
+    /// detection, so `detection_latency.count() <= detected`).
+    pub detection_latency: Log2Histogram,
+}
+
+impl SiteTelemetry {
+    /// Adds another site's tallies and latency distribution.
+    pub fn merge(&mut self, o: &SiteTelemetry) {
+        self.injected += o.injected;
+        self.detected += o.detected;
+        self.masked += o.masked;
+        self.escaped += o.escaped;
+        self.detection_latency.merge(&o.detection_latency);
+    }
+}
+
+/// Whole-campaign telemetry: one [`SiteTelemetry`] per fault site.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CampaignTelemetry {
+    /// Core-logic faults.
+    pub core_logic: SiteTelemetry,
+    /// TLB/permission faults.
+    pub tlb_permission: SiteTelemetry,
+    /// Privileged-register faults.
+    pub priv_reg: SiteTelemetry,
+}
+
+impl CampaignTelemetry {
+    /// The telemetry slot for `site`.
+    pub fn site(&self, site: FaultSite) -> &SiteTelemetry {
+        match site {
+            FaultSite::CoreLogic => &self.core_logic,
+            FaultSite::TlbPermission => &self.tlb_permission,
+            FaultSite::PrivReg => &self.priv_reg,
+        }
+    }
+
+    /// The mutable telemetry slot for `site`.
+    pub fn site_mut(&mut self, site: FaultSite) -> &mut SiteTelemetry {
+        match site {
+            FaultSite::CoreLogic => &mut self.core_logic,
+            FaultSite::TlbPermission => &mut self.tlb_permission,
+            FaultSite::PrivReg => &mut self.priv_reg,
+        }
+    }
+
+    /// All `(site, telemetry)` pairs in report order.
+    pub fn sites(&self) -> impl Iterator<Item = (FaultSite, &SiteTelemetry)> {
+        FaultSite::all().into_iter().map(move |s| (s, self.site(s)))
+    }
+
+    /// Merges another campaign's telemetry site by site (multi-seed
+    /// aggregation).
+    pub fn merge(&mut self, o: &CampaignTelemetry) {
+        self.core_logic.merge(&o.core_logic);
+        self.tlb_permission.merge(&o.tlb_permission);
+        self.priv_reg.merge(&o.priv_reg);
+    }
 }
 
 /// Outcome counters for injected faults.
@@ -81,6 +179,8 @@ pub struct FaultInjector {
     next_at: Cycle,
     /// Outcome counters, updated by the `System` as effects apply.
     pub stats: FaultStats,
+    /// Per-site campaign telemetry, updated alongside `stats`.
+    pub telemetry: CampaignTelemetry,
 }
 
 impl FaultInjector {
@@ -96,6 +196,7 @@ impl FaultInjector {
             cores,
             next_at: first,
             stats: FaultStats::default(),
+            telemetry: CampaignTelemetry::default(),
         }
     }
 
@@ -189,6 +290,18 @@ mod tests {
             silent_perf_faults: 1,
         };
         assert_eq!(s.contained(), 8);
+    }
+
+    #[test]
+    fn telemetry_site_slots_and_labels() {
+        let mut t = CampaignTelemetry::default();
+        t.site_mut(FaultSite::PrivReg).detected += 1;
+        t.site_mut(FaultSite::PrivReg).detection_latency.record(42);
+        assert_eq!(t.site(FaultSite::PrivReg).detected, 1);
+        assert_eq!(t.site(FaultSite::PrivReg).detection_latency.count(), 1);
+        assert_eq!(t.site(FaultSite::CoreLogic).detected, 0);
+        let labels: Vec<&str> = t.sites().map(|(s, _)| s.label()).collect();
+        assert_eq!(labels, ["core_logic", "tlb_permission", "priv_reg"]);
     }
 
     #[test]

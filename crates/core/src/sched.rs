@@ -113,6 +113,19 @@ impl Workload {
         }
     }
 
+    /// Scheduler family driving this configuration. Part of a run's
+    /// identity block: runs under different schedulers are not
+    /// comparable metric-for-metric, and `mmm-inspect` refuses to
+    /// diff them.
+    pub fn scheduler_name(self) -> &'static str {
+        match self {
+            Workload::NoDmr2x(_) | Workload::NoDmr(_) | Workload::ReunionDmr(_) => "static",
+            Workload::Consolidated { .. } => "gang",
+            Workload::Overcommitted { .. } => "overcommit",
+            Workload::SingleOsMixed(_) => "single-os",
+        }
+    }
+
     /// Gang-scheduling policy, if this configuration time-slices VMs.
     pub fn gang_policy(self) -> Option<MixedPolicy> {
         match self {
@@ -295,6 +308,39 @@ mod tests {
             }
             .name(),
             "MMM-TP"
+        );
+    }
+
+    #[test]
+    fn scheduler_families_cover_every_workload() {
+        assert_eq!(
+            Workload::NoDmr2x(Benchmark::Apache).scheduler_name(),
+            "static"
+        );
+        assert_eq!(
+            Workload::ReunionDmr(Benchmark::Oltp).scheduler_name(),
+            "static"
+        );
+        assert_eq!(
+            Workload::Consolidated {
+                bench: Benchmark::Oltp,
+                policy: MixedPolicy::MmmIpc
+            }
+            .scheduler_name(),
+            "gang"
+        );
+        assert_eq!(
+            Workload::Overcommitted {
+                bench: Benchmark::Oltp,
+                reliable: 2,
+                perf: 4
+            }
+            .scheduler_name(),
+            "overcommit"
+        );
+        assert_eq!(
+            Workload::SingleOsMixed(Benchmark::Apache).scheduler_name(),
+            "single-os"
         );
     }
 }

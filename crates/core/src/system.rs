@@ -8,19 +8,22 @@
 //! [`SystemReport`] with the quantities the paper's figures plot.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use mmm_cpu::{Boundary, Core, CoreStats, ExecContext, Filter, PabPort, PhaseTracker};
 use mmm_mem::request::store_token;
 use mmm_mem::{MemStats, MemorySystem};
 use mmm_reunion::{DmrPair, PairStats};
-use mmm_trace::{Event, Json, MetricsRegistry, SchedAction, Tracer, TransitionKind};
+use mmm_trace::{
+    Event, Json, MetricsRegistry, MetricsSeries, Sampler, SchedAction, Tracer, TransitionKind,
+};
 use mmm_types::ids::{PAGE_BYTES, PAGE_SHIFT};
 use mmm_types::{CoreId, Cycle, PageAddr, Result, SystemConfig, VcpuId, VmId};
 use mmm_workload::layout::{PAT_BASE, SCRATCHPAD_BASE};
 use mmm_workload::{AddressLayout, OpStream};
 
-use crate::fault::{FaultInjector, FaultSite, FaultStats};
+use crate::fault::{CampaignTelemetry, FaultInjector, FaultSite, FaultStats};
 use crate::mode::RelMode;
 use crate::pab::{Pab, PabStats};
 use crate::pat::Pat;
@@ -50,6 +53,15 @@ pub struct SystemReport {
     pub config: &'static str,
     /// Benchmark label.
     pub benchmark: &'static str,
+    /// Scheduler family of the workload (`static`, `gang`,
+    /// `overcommit`, `single-os`). Part of the run-identity block:
+    /// runs under different schedulers are not comparable
+    /// metric-for-metric.
+    pub scheduler: &'static str,
+    /// Number of simulated hardware threads (VCPUs) the workload
+    /// exposes — the second identity field `mmm-inspect` checks
+    /// before diffing two runs.
+    pub threads: u64,
     /// Measured cycles.
     pub cycles: u64,
     /// Per-VCPU commit counts.
@@ -77,6 +89,14 @@ pub struct SystemReport {
     /// 0.0 when the run was not timed. Host-dependent: excluded from
     /// determinism comparisons and from the JSON export unless set.
     pub wall_seconds: f64,
+    /// Per-fault-site campaign telemetry (`None` when injection is
+    /// off).
+    pub fault_telemetry: Option<CampaignTelemetry>,
+    /// Flight-recorder time-series over the measured period (`None`
+    /// unless a sampler was attached). Deliberately excluded from
+    /// [`SystemReport::to_json`] so golden reports stay bit-identical
+    /// with sampling on or off; exported separately as JSONL.
+    pub series: Option<MetricsSeries>,
 }
 
 impl SystemReport {
@@ -222,12 +242,15 @@ impl SystemReport {
         m.count("mem.flushes", mm.flushes);
         m.count("mem.flush_cycles", mm.flush_cycles);
         m.count("mem.bank_queue_cycles", mm.bank_queue_cycles);
+        m.merge_histogram("mem.sharer_walk", &mm.sharer_walk);
 
         let p = &self.pairs;
         m.count("reunion.ops_compared", p.ops_compared);
         m.count("reunion.input_incoherence", p.input_incoherence);
         m.count("reunion.faults_detected", p.faults_detected);
         m.count("reunion.recovery_cycles", p.recovery_cycles);
+        m.merge_histogram("reunion.channel_occupancy", &p.occupancy);
+        m.merge_histogram("reunion.commit_burst", &p.commit_burst);
 
         let f = &self.faults;
         m.count("fault.injected", f.injected);
@@ -237,6 +260,19 @@ impl SystemReport {
         m.count("fault.privreg_caught_at_entry", f.privreg_caught_at_entry);
         m.count("fault.silent_perf_faults", f.silent_perf_faults);
         m.count("fault.on_idle_core", f.on_idle_core);
+        if let Some(tel) = &self.fault_telemetry {
+            for (site, s) in tel.sites() {
+                let l = site.label();
+                m.count(&format!("fault.site.{l}.injected"), s.injected);
+                m.count(&format!("fault.site.{l}.detected"), s.detected);
+                m.count(&format!("fault.site.{l}.masked"), s.masked);
+                m.count(&format!("fault.site.{l}.escaped"), s.escaped);
+                m.merge_histogram(
+                    &format!("fault.site.{l}.detection_latency_cycles"),
+                    &s.detection_latency,
+                );
+            }
+        }
 
         let b = &self.pab;
         m.count("pab.lookups", b.lookups);
@@ -244,12 +280,17 @@ impl SystemReport {
         m.count("pab.misses", b.misses);
         m.count("pab.violations", b.violations);
         m.count("pab.demap_invalidations", b.demap_invalidations);
+        m.merge_histogram("pab.serialization_penalty_cycles", &b.serialization_penalty);
 
         let t = &self.transitions;
         m.merge_stat("transition.enter_dmr", &t.enter);
         m.merge_stat("transition.leave_dmr", &t.leave);
         m.merge_stat("transition.dmr_switch", &t.dmr_switch);
         m.merge_stat("transition.perf_switch", &t.perf_switch);
+        m.merge_histogram("transition.enter_dmr_cycles", &t.enter_hist);
+        m.merge_histogram("transition.leave_dmr_cycles", &t.leave_hist);
+        m.merge_histogram("transition.dmr_switch_cycles", &t.dmr_switch_hist);
+        m.merge_histogram("transition.perf_switch_cycles", &t.perf_switch_hist);
 
         m.merge_histogram("phase.user_cycles", &self.phases.user);
         m.merge_histogram("phase.os_cycles", &self.phases.os);
@@ -293,6 +334,8 @@ impl SystemReport {
         Json::obj([
             ("config", Json::str(self.config)),
             ("benchmark", Json::str(self.benchmark)),
+            ("scheduler", Json::str(self.scheduler)),
+            ("threads", Json::U64(self.threads)),
             ("cycles", Json::U64(self.cycles)),
             ("vcpus", vcpus),
             ("metrics", self.metrics().to_json()),
@@ -330,9 +373,14 @@ pub struct System {
     pabs: Vec<Rc<RefCell<Pab>>>,
     engine: TransitionEngine,
     injector: Option<FaultInjector>,
-    /// Privileged-register corruption armed per VCPU (detected at the
-    /// next Enter-DMR verification).
-    privreg_armed: Vec<bool>,
+    /// Privileged-register corruption armed per VCPU, holding the
+    /// injection cycle (detected at the next Enter-DMR verification,
+    /// which charges the injection-to-detection latency).
+    privreg_armed: Vec<Option<Cycle>>,
+    /// Injection cycles and sites of DMR faults armed per pair slot,
+    /// awaiting their fingerprint-mismatch detection so campaign
+    /// telemetry can attribute the detection latency.
+    dmr_inject_pending: Vec<VecDeque<(Cycle, FaultSite)>>,
     cycle: Cycle,
     next_slice: Cycle,
     slice_parity: u8,
@@ -347,6 +395,20 @@ pub struct System {
     /// Event tracer handle (off by default; clones are distributed to
     /// cores and live pairs by [`System::attach_tracer`]).
     tracer: Tracer,
+    /// Flight-recorder sampler (off by default; see
+    /// [`System::attach_sampler`]).
+    sampler: Sampler,
+    /// Next cycle at which the sampler fires. `Cycle::MAX` when
+    /// sampling is off, so the hot path pays exactly one always-false
+    /// comparison and allocates nothing.
+    sample_next: Cycle,
+    /// Cycle at which the measured period began; sample timestamps
+    /// are relative to it.
+    measure_start: Cycle,
+    /// Cycle fast-forwarding enabled (default). The cross-variant
+    /// determinism tests turn it off to prove reports and sampled
+    /// series are identical either way.
+    skip_enabled: bool,
 }
 
 impl System {
@@ -404,7 +466,8 @@ impl System {
             pabs,
             engine: TransitionEngine::new(cfg.virt, cfg.reunion),
             injector: None,
-            privreg_armed: vec![false; n_vcpus],
+            privreg_armed: vec![None; n_vcpus],
+            dmr_inject_pending: (0..cfg.pairs()).map(|_| VecDeque::new()).collect(),
             cycle: 0,
             next_slice: cfg.virt.timeslice_cycles,
             slice_parity: 0,
@@ -412,6 +475,10 @@ impl System {
             retired_pair_stats: PairStats::default(),
             fault_token_seq: 1 << 61,
             tracer: Tracer::off(),
+            sampler: Sampler::off(),
+            sample_next: Cycle::MAX,
+            measure_start: 0,
+            skip_enabled: true,
         };
         sys.prewarm_scratchpad();
         sys.install_initial_assignments();
@@ -482,6 +549,58 @@ impl System {
     /// called).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attaches a flight-recorder sampler: every `interval` simulated
+    /// cycles the machine settles its cores and snapshots the full
+    /// metrics registry into a time-series (counter deltas, gauge
+    /// last-values, histogram interval deltas). The sampler is rebased
+    /// to the current counters so the first sample covers only
+    /// post-attach activity. Sampling is purely observational — it
+    /// never changes simulated timing — and with the sampler off the
+    /// hot path pays a single always-false comparison.
+    pub fn attach_sampler(&mut self, sampler: Sampler) {
+        self.sampler = sampler;
+        match self.sampler.interval() {
+            Some(interval) => {
+                let snapshot = self
+                    .report(self.cycle.saturating_sub(self.measure_start))
+                    .metrics();
+                self.sampler.rebase(&snapshot);
+                self.sample_next = self.cycle + interval;
+            }
+            None => self.sample_next = Cycle::MAX,
+        }
+    }
+
+    /// The attached sampler (off unless [`System::attach_sampler`]
+    /// was called).
+    pub fn sampler(&self) -> &Sampler {
+        &self.sampler
+    }
+
+    /// Enables or disables cycle fast-forwarding (on by default).
+    /// Disabling it forces the simulator to tick every cycle; reports
+    /// and sampled series are identical either way, which the
+    /// cross-variant determinism tests assert.
+    pub fn set_cycle_skipping(&mut self, on: bool) {
+        self.skip_enabled = on;
+    }
+
+    /// Takes one flight-recorder sample at `now`: settles every
+    /// core's pending skipped-cycle charges (settling is
+    /// simulation-state-neutral) so the snapshot is exact, then
+    /// records the registry delta at a timestamp relative to the
+    /// start of the measured period.
+    fn take_sample(&mut self, now: Cycle) {
+        for c in &mut self.cores {
+            c.settle_to(now);
+        }
+        let rel = now.saturating_sub(self.measure_start);
+        let snapshot = self.report(rel).metrics();
+        self.sampler.record(rel, &snapshot);
+        let interval = self.sampler.interval().expect("sampling is on");
+        self.sample_next = now + interval;
     }
 
     /// Current cycle.
@@ -579,6 +698,10 @@ impl System {
     fn evict_dmr(&mut self, slot: usize, now: Cycle) -> VcpuId {
         let pair = self.pairs[slot].take().expect("slot holds a pair");
         self.retired_pair_stats.merge_from(&pair.stats());
+        // An armed fault detects during decouple's final comparison;
+        // its latency cannot be attributed to a service round, so the
+        // pending record is dropped (latency count <= detected).
+        self.dmr_inject_pending[slot].clear();
         let (vc, mc) = (slot * 2, slot * 2 + 1);
         let (left, right) = self.cores.split_at_mut(mc);
         let ctx = pair.decouple(&mut left[vc], &mut right[0], now);
@@ -981,10 +1104,13 @@ impl System {
     /// `vocal` is the pair's vocal core, for event attribution.
     fn check_privreg_on_entry(&mut self, vcpu: VcpuId, vocal: CoreId) {
         let i = self.vcpu_index(vcpu);
-        if self.privreg_armed[i] {
-            self.privreg_armed[i] = false;
+        if let Some(armed_at) = self.privreg_armed[i].take() {
             if let Some(inj) = self.injector.as_mut() {
                 inj.stats.privreg_caught_at_entry += 1;
+                let tel = inj.telemetry.site_mut(FaultSite::PrivReg);
+                tel.detected += 1;
+                tel.detection_latency
+                    .record(self.cycle.saturating_sub(armed_at));
             }
             self.tracer.emit(self.cycle, || Event::FaultMasked {
                 core: vocal,
@@ -1081,19 +1207,28 @@ impl System {
     // ----- fault application ---------------------------------------------------
 
     fn apply_fault(&mut self, core: CoreId, site: FaultSite, now: Cycle) {
-        let label = site_label(site);
+        let label = site.label();
         self.tracer
             .emit(now, || Event::FaultInjected { core, site: label });
+        if let Some(inj) = self.injector.as_mut() {
+            inj.telemetry.site_mut(site).injected += 1;
+        }
         // DMR cores: any fault surfaces as a fingerprint mismatch.
-        let in_pair = self
-            .pairs
-            .iter()
-            .flatten()
-            .find(|p| p.vocal() == core || p.mute() == core);
-        if let Some(pair) = in_pair {
-            pair.inject_fault();
+        let in_pair = self.pairs.iter().position(|p| {
+            p.as_ref()
+                .is_some_and(|p| p.vocal() == core || p.mute() == core)
+        });
+        if let Some(slot) = in_pair {
+            let pair = self.pairs[slot].as_ref().expect("slot holds a pair");
+            // A fault injected while a mismatch is already armed
+            // merges into that one detection; only a newly armed
+            // fault gets its own latency observation.
+            if pair.inject_fault() {
+                self.dmr_inject_pending[slot].push_back((now, site));
+            }
             if let Some(inj) = self.injector.as_mut() {
                 inj.stats.detected_by_dmr += 1;
+                inj.telemetry.site_mut(site).detected += 1;
             }
             self.tracer.emit(now, || Event::FaultMasked {
                 core,
@@ -1105,6 +1240,7 @@ impl System {
         if !self.cores[core.index()].is_busy() {
             if let Some(inj) = self.injector.as_mut() {
                 inj.stats.on_idle_core += 1;
+                inj.telemetry.site_mut(site).masked += 1;
             }
             self.tracer.emit(now, || Event::FaultMasked {
                 core,
@@ -1118,6 +1254,7 @@ impl System {
             FaultSite::CoreLogic => {
                 if let Some(inj) = self.injector.as_mut() {
                     inj.stats.silent_perf_faults += 1;
+                    inj.telemetry.site_mut(site).masked += 1;
                 }
             }
             FaultSite::PrivReg => {
@@ -1129,14 +1266,18 @@ impl System {
                 if self.vcpus[i].mode == RelMode::PerfUser {
                     // This VCPU re-enters DMR at its next OS entry,
                     // where the mute's verification walk catches the
-                    // corruption (paper §3.4.3).
-                    self.privreg_armed[i] = true;
+                    // corruption (paper §3.4.3). A re-arm while armed
+                    // merges into the first injection's detection.
+                    if self.privreg_armed[i].is_none() {
+                        self.privreg_armed[i] = Some(now);
+                    }
                 } else {
                     // A pure performance guest never re-enters DMR:
                     // the corruption stays inside the unprotected
                     // domain, tolerated by contract.
                     if let Some(inj) = self.injector.as_mut() {
                         inj.stats.silent_perf_faults += 1;
+                        inj.telemetry.site_mut(site).masked += 1;
                     }
                 }
             }
@@ -1162,6 +1303,9 @@ impl System {
                 match verdict {
                     crate::pab::PabVerdict::Violation => {
                         inj.stats.wild_stores_blocked += 1;
+                        let tel = inj.telemetry.site_mut(site);
+                        tel.detected += 1;
+                        tel.detection_latency.record(ready.saturating_sub(now));
                         self.tracer
                             .emit(now, || Event::PabDeny { core, page: page.0 });
                         self.tracer.emit(now, || Event::FaultMasked {
@@ -1172,6 +1316,7 @@ impl System {
                     }
                     crate::pab::PabVerdict::Allowed => {
                         inj.stats.wild_stores_corrupting += 1;
+                        inj.telemetry.site_mut(site).escaped += 1;
                         self.fault_token_seq += 1;
                         let token = store_token(VcpuId(u16::MAX), line, self.fault_token_seq);
                         self.mem.store_commit(core, line, token, true, ready);
@@ -1186,6 +1331,9 @@ impl System {
     /// Advances the machine one cycle.
     pub fn tick(&mut self) {
         let now = self.cycle;
+        if now >= self.sample_next {
+            self.take_sample(now);
+        }
         if let Some(policy) = self.workload.gang_policy() {
             if now >= self.next_slice {
                 self.gang_switch(policy, now);
@@ -1217,8 +1365,21 @@ impl System {
             c.tick(now, &mut self.mem);
             min_wake = min_wake.min(c.wake_hint());
         }
-        for pair in self.pairs.iter().flatten() {
-            pair.service(&mut self.mem);
+        for (slot, pair) in self.pairs.iter().enumerate() {
+            let Some(pair) = pair else { continue };
+            for detected_at in pair.service(&mut self.mem) {
+                // A fingerprint mismatch caused by an injected fault:
+                // attribute the detection back to its injection for
+                // the campaign latency histogram.
+                if let Some((injected_at, site)) = self.dmr_inject_pending[slot].pop_front() {
+                    if let Some(inj) = self.injector.as_mut() {
+                        inj.telemetry
+                            .site_mut(site)
+                            .detection_latency
+                            .record(detected_at.saturating_sub(injected_at));
+                    }
+                }
+            }
         }
         self.cycle = self.fast_forward(now, min_wake);
     }
@@ -1230,7 +1391,7 @@ impl System {
     /// its skipped-cycle counters itself, so the reports are identical
     /// either way.
     fn fast_forward(&self, now: Cycle, min_wake: Cycle) -> Cycle {
-        if min_wake <= now + 1 {
+        if !self.skip_enabled || min_wake <= now + 1 {
             return now + 1;
         }
         // Fault injection and the single-OS trap poll inspect the
@@ -1243,7 +1404,11 @@ impl System {
             Workload::Consolidated { .. } | Workload::Overcommitted { .. } => self.next_slice,
             _ => Cycle::MAX,
         };
-        min_wake.min(cap).max(now + 1)
+        // The flight recorder's boundary must actually tick so the
+        // sample lands at its exact cycle; the boundary settle makes
+        // the jumped span observable, keeping the series identical
+        // with skipping on or off.
+        min_wake.min(cap).min(self.sample_next).max(now + 1)
     }
 
     /// Runs for `cycles` cycles.
@@ -1259,6 +1424,12 @@ impl System {
         // warm-up reset) see fully settled counters.
         for c in &mut self.cores {
             c.settle_to(self.cycle);
+        }
+        // A sample boundary landing exactly on the run end has not
+        // ticked; record it now so the series is the same whether the
+        // caller keeps running or stops here.
+        if self.cycle >= self.sample_next {
+            self.take_sample(self.cycle);
         }
     }
 
@@ -1287,6 +1458,18 @@ impl System {
         }
         if let Some(inj) = self.injector.as_mut() {
             inj.stats = FaultStats::default();
+            inj.telemetry = CampaignTelemetry::default();
+        }
+        for q in &mut self.dmr_inject_pending {
+            q.clear();
+        }
+        // Restart the flight recorder: samples cover the measured
+        // period only, with timestamps relative to its start.
+        self.measure_start = self.cycle;
+        if let Some(interval) = self.sampler.interval() {
+            let snapshot = self.report(0).metrics();
+            self.sampler.rebase(&snapshot);
+            self.sample_next = self.cycle + interval;
         }
     }
 
@@ -1300,6 +1483,7 @@ impl System {
         let wall = started.elapsed().as_secs_f64();
         let mut report = self.report(measure);
         report.wall_seconds = wall;
+        report.series = self.sampler.series();
         report
     }
 
@@ -1335,25 +1519,31 @@ impl System {
                 phases.merge(t);
             }
         }
-        let mut pair_agg = self.retired_pair_stats;
+        let mut pair_agg = self.retired_pair_stats.clone();
         for pair in self.pairs.iter().flatten() {
             pair_agg.merge_from(&pair.stats());
         }
         let mut pab_agg = PabStats::default();
         for pab in &self.pabs {
-            let s = pab.borrow().stats();
+            let pb = pab.borrow();
+            let s = pb.stats();
             pab_agg.lookups += s.lookups;
             pab_agg.hits += s.hits;
             pab_agg.misses += s.misses;
             pab_agg.violations += s.violations;
             pab_agg.demap_invalidations += s.demap_invalidations;
+            pab_agg
+                .serialization_penalty
+                .merge(&s.serialization_penalty);
         }
         SystemReport {
             config: self.workload.name(),
             benchmark: self.workload.benchmark().name(),
+            scheduler: self.workload.scheduler_name(),
+            threads: self.vcpus.len() as u64,
             cycles,
             vcpus: vcpu_slices,
-            mem: *self.mem.stats(),
+            mem: self.mem.stats().clone(),
             cores: core_agg,
             pairs: pair_agg,
             transitions: self.engine.stats.clone(),
@@ -1363,6 +1553,8 @@ impl System {
             phase_os_mean: phases.mean_os_cycles(),
             phases,
             wall_seconds: 0.0,
+            fault_telemetry: self.injector.as_ref().map(|i| i.telemetry.clone()),
+            series: None,
         }
     }
 
@@ -1382,15 +1574,6 @@ impl System {
     }
 }
 
-/// Stable export label for a fault site.
-fn site_label(site: FaultSite) -> &'static str {
-    match site {
-        FaultSite::CoreLogic => "core_logic",
-        FaultSite::TlbPermission => "tlb_permission",
-        FaultSite::PrivReg => "priv_reg",
-    }
-}
-
 /// `PairStats` accumulation helper.
 trait MergeFrom {
     fn merge_from(&mut self, other: &Self);
@@ -1402,6 +1585,8 @@ impl MergeFrom for PairStats {
         self.input_incoherence += other.input_incoherence;
         self.faults_detected += other.faults_detected;
         self.recovery_cycles += other.recovery_cycles;
+        self.occupancy.merge(&other.occupancy);
+        self.commit_burst.merge(&other.commit_burst);
     }
 }
 

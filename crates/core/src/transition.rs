@@ -19,11 +19,16 @@
 use mmm_mem::request::store_token;
 use mmm_mem::MemorySystem;
 use mmm_types::config::{ReunionConfig, VirtConfig};
-use mmm_types::stats::RunningStat;
+use mmm_types::stats::{Log2Histogram, RunningStat};
 use mmm_types::{CoreId, Cycle, VcpuId};
 use mmm_workload::AddressLayout;
 
 /// Counters and distributions for mode transitions (Table 1).
+///
+/// Each transition kind keeps both a [`RunningStat`] (mean/CI for the
+/// tables) and a [`Log2Histogram`] of the same cycle costs — the
+/// histogram feeds the flight recorder, whose interval deltas need
+/// mergeable buckets rather than running moments.
 #[derive(Clone, Debug, Default)]
 pub struct TransitionStats {
     /// Enter-DMR events and their cycle costs.
@@ -35,6 +40,40 @@ pub struct TransitionStats {
     pub dmr_switch: RunningStat,
     /// Performance-to-performance VCPU switches.
     pub perf_switch: RunningStat,
+    /// Enter-DMR cycle costs as a histogram.
+    pub enter_hist: Log2Histogram,
+    /// Leave-DMR cycle costs as a histogram.
+    pub leave_hist: Log2Histogram,
+    /// DMR-to-DMR switch cycle costs as a histogram.
+    pub dmr_switch_hist: Log2Histogram,
+    /// Performance-switch cycle costs as a histogram.
+    pub perf_switch_hist: Log2Histogram,
+}
+
+impl TransitionStats {
+    /// Records one enter-DMR cost.
+    fn push_enter(&mut self, cycles: Cycle) {
+        self.enter.push(cycles as f64);
+        self.enter_hist.record(cycles);
+    }
+
+    /// Records one leave-DMR cost.
+    fn push_leave(&mut self, cycles: Cycle) {
+        self.leave.push(cycles as f64);
+        self.leave_hist.record(cycles);
+    }
+
+    /// Records one DMR-to-DMR switch cost.
+    fn push_dmr_switch(&mut self, cycles: Cycle) {
+        self.dmr_switch.push(cycles as f64);
+        self.dmr_switch_hist.record(cycles);
+    }
+
+    /// Records one performance-switch cost.
+    fn push_perf_switch(&mut self, cycles: Cycle) {
+        self.perf_switch.push(cycles as f64);
+        self.perf_switch_hist.record(cycles);
+    }
 }
 
 /// The transition engine: computes transition completion times by
@@ -188,7 +227,7 @@ impl TransitionEngine {
         let mute_own = self.load_state_serial(mem, mute, incoming, 1, t1);
         let mute_vocal_copy = self.load_state_serial(mem, mute, incoming, 0, t1);
         let done = vocal_done.max(mute_own.max(mute_vocal_copy) + self.verify());
-        self.stats.enter.push((done - now) as f64);
+        self.stats.push_enter(done - now);
         done
     }
 
@@ -243,7 +282,7 @@ impl TransitionEngine {
                 done - vocal_saved.max(mute_ready),
             );
         }
-        self.stats.leave.push((done - now) as f64);
+        self.stats.push_leave(done - now);
         done
     }
 
@@ -271,7 +310,7 @@ impl TransitionEngine {
         let v = self.load_state(mem, vocal, incoming, 0, saved);
         let m = self.load_state(mem, mute, incoming, 1, saved);
         let done = v.max(m) + self.verify();
-        self.stats.dmr_switch.push((done - now) as f64);
+        self.stats.push_dmr_switch(done - now);
         done
     }
 
@@ -292,7 +331,7 @@ impl TransitionEngine {
         let m_own = self.load_state_serial(mem, mute, incoming, 1, t0);
         let m_vocal = self.load_state_serial(mem, mute, incoming, 0, t0);
         let done = v.max(m_own.max(m_vocal) + self.verify());
-        self.stats.dmr_switch.push((done - start) as f64);
+        self.stats.push_dmr_switch(done - start);
         done
     }
 
@@ -306,7 +345,7 @@ impl TransitionEngine {
     ) -> Cycle {
         let t0 = start + self.machine();
         let done = self.load_state(mem, core, incoming, 0, t0);
-        self.stats.perf_switch.push((done - start) as f64);
+        self.stats.push_perf_switch(done - start);
         done
     }
 
@@ -325,7 +364,7 @@ impl TransitionEngine {
             None => t0,
         };
         let done = self.load_state(mem, core, incoming, 0, saved);
-        self.stats.perf_switch.push((done - now) as f64);
+        self.stats.push_perf_switch(done - now);
         done
     }
 }

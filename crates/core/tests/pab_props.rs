@@ -72,7 +72,8 @@ fn pab_verdicts_always_match_the_pat() {
             );
         }
         // Accounting: hits + misses == lookups.
-        let s = pab.borrow().stats();
+        let pb = pab.borrow();
+        let s = pb.stats();
         assert_eq!(s.hits + s.misses, s.lookups, "case {case}");
     }
 }

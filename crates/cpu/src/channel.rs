@@ -18,6 +18,7 @@ use std::rc::Rc;
 
 use mmm_mem::VersionToken;
 use mmm_types::config::ReunionConfig;
+use mmm_types::stats::Log2Histogram;
 use mmm_types::{Cycle, LineAddr};
 
 /// Which half of the pair a core is.
@@ -39,7 +40,7 @@ impl Side {
 }
 
 /// Counters accumulated by one pair channel.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PairStats {
     /// Instructions compared (both sides published).
     pub ops_compared: u64,
@@ -49,6 +50,12 @@ pub struct PairStats {
     pub faults_detected: u64,
     /// Total recovery stall cycles charged.
     pub recovery_cycles: u64,
+    /// Comparison records resident in the channel at each successful
+    /// commit-gate release walk (exchange-buffer occupancy).
+    pub occupancy: Log2Histogram,
+    /// Instructions released per successful commit-gate walk
+    /// (commit-burst size).
+    pub commit_burst: Log2Histogram,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -108,8 +115,8 @@ impl PairChannel {
     }
 
     /// Channel counters.
-    pub fn stats(&self) -> PairStats {
-        self.stats
+    pub fn stats(&self) -> &PairStats {
+        &self.stats
     }
 
     /// Resets counters (after warm-up) without touching exchange
@@ -119,9 +126,13 @@ impl PairChannel {
     }
 
     /// Arms a transient fault: the next instruction compared will
-    /// mismatch and be recovered (used by the fault injector).
-    pub fn inject_fault(&mut self) {
+    /// mismatch and be recovered (used by the fault injector). Returns
+    /// whether this call newly armed the fault (`false` when one was
+    /// already pending — the two injections merge into one detection).
+    pub fn inject_fault(&mut self) -> bool {
+        let newly_armed = !self.pending_fault;
         self.pending_fault = true;
+        newly_armed
     }
 
     /// Handle on the flag raised whenever this channel queues work
@@ -274,7 +285,7 @@ impl PairChannel {
     /// or `None` when `seq` itself is not released. Agrees with
     /// `commit_time(s, now) <= now` for every `s` in the returned
     /// span.
-    pub fn released_through(&self, seq: u64, now: Cycle, cap: u64) -> Option<u64> {
+    pub fn released_through(&mut self, seq: u64, now: Cycle, cap: u64) -> Option<u64> {
         let (Some(p0), Some(p1)) = (self.published[0], self.published[1]) else {
             return None;
         };
@@ -297,6 +308,10 @@ impl PairChannel {
             }
             granted = Some(upto);
             s = upto + 1;
+        }
+        if let Some(upto) = granted {
+            self.stats.occupancy.record(self.records.len() as u64);
+            self.stats.commit_burst.record(upto - seq + 1);
         }
         granted
     }

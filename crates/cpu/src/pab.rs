@@ -23,10 +23,11 @@
 
 use mmm_mem::{CacheLine, MemorySystem, Mosi, SetAssocCache};
 use mmm_types::config::{CacheGeometry, PabConfig, PabLookup};
+use mmm_types::stats::Log2Histogram;
 use mmm_types::{CoreId, Cycle, LineAddr};
 
 /// Counters accumulated by one PAB.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PabStats {
     /// Permission checks performed.
     pub lookups: u64,
@@ -38,6 +39,10 @@ pub struct PabStats {
     pub violations: u64,
     /// Entries invalidated by TLB demaps.
     pub demap_invalidations: u64,
+    /// Cycles each checked store waited on the PAB before proceeding
+    /// to the L2 (0 on a parallel-lookup hit; the PAT-line fetch plus
+    /// any serial latency otherwise).
+    pub serialization_penalty: Log2Histogram,
 }
 
 /// One core's Protection Assistance Buffer.
@@ -62,8 +67,8 @@ impl Pab {
     }
 
     /// Counters.
-    pub fn stats(&self) -> PabStats {
-        self.stats
+    pub fn stats(&self) -> &PabStats {
+        &self.stats
     }
 
     /// Resets counters (after warm-up) without touching the array.
@@ -91,7 +96,7 @@ impl Pab {
             PabLookup::Parallel => 0,
             PabLookup::Serial => self.cfg.serial_latency,
         } as Cycle;
-        if self.entries.lookup(backing).is_some() {
+        let ready = if self.entries.lookup(backing).is_some() {
             self.stats.hits += 1;
             now + serial_extra
         } else {
@@ -105,7 +110,9 @@ impl Pab {
                 coherent: true,
             });
             acc.complete_at + serial_extra
-        }
+        };
+        self.stats.serialization_penalty.record(ready - now);
+        ready
     }
 
     /// Records a permission violation (the PAT owner observed a store

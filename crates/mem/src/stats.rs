@@ -1,10 +1,12 @@
 //! Memory-system event counters.
 
+use mmm_types::stats::Log2Histogram;
+
 /// Counters accumulated by [`crate::system::MemorySystem`].
 ///
 /// All counts are machine-wide; per-core breakdowns live in the core
 /// model's own statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// L1-I hits.
     pub l1i_hits: u64,
@@ -44,6 +46,10 @@ pub struct MemStats {
     /// Cycles requests queued on L3/directory banks (0 unless the
     /// optional contention model is enabled).
     pub bank_queue_cycles: u64,
+    /// Remote sharers invalidated per directory sharer walk (one
+    /// observation per upgrade or read-for-ownership that consulted
+    /// the sharer vector).
+    pub sharer_walk: Log2Histogram,
 }
 
 impl MemStats {
@@ -86,6 +92,7 @@ impl MemStats {
         self.flushes += o.flushes;
         self.flush_cycles += o.flush_cycles;
         self.bank_queue_cycles += o.bank_queue_cycles;
+        self.sharer_walk.merge(&o.sharer_walk);
     }
 }
 

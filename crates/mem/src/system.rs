@@ -456,6 +456,7 @@ impl MemorySystem {
         // Invalidate every remote copy.
         let mut kicked = self.dir.invalidate_others_mask(line, core);
         self.stats.invalidations += kicked.count_ones() as u64;
+        self.stats.sharer_walk.record(kicked.count_ones() as u64);
         while kicked != 0 {
             let victim = CoreId(kicked.trailing_zeros() as u16);
             kicked &= kicked - 1;

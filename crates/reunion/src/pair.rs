@@ -108,33 +108,44 @@ impl DmrPair {
     /// Services pending recoveries: invalidates the mute's stale lines
     /// so re-execution refetches coherent data. Call once per
     /// simulation cycle (cheap when idle).
-    pub fn service(&self, mem: &mut MemorySystem) {
+    ///
+    /// Returns the detection cycles of any *injected-fault* mismatches
+    /// drained this call (empty on the fast path — an empty `Vec` does
+    /// not allocate), so the caller can attribute detections back to
+    /// their injection campaign.
+    pub fn service(&self, mem: &mut MemorySystem) -> Vec<Cycle> {
         if !self.dirty.get() {
-            return;
+            return Vec::new();
         }
         self.dirty.set(false);
         let (heals, mismatches) = self.channel.borrow_mut().drain_service();
         for line in heals {
             mem.heal_line(self.mute, line);
         }
+        let mut fault_detects = Vec::new();
         for (at, cause) in mismatches {
             self.tracer.emit(at, || Event::CheckMismatch {
                 vocal: self.vocal,
                 mute: self.mute,
                 cause,
             });
+            if cause == "fault" {
+                fault_detects.push(at);
+            }
         }
+        fault_detects
     }
 
     /// Arms a transient-fault injection on this pair's next compared
-    /// instruction.
-    pub fn inject_fault(&self) {
-        self.channel.borrow_mut().inject_fault();
+    /// instruction. Returns whether this call newly armed the fault
+    /// (see [`PairChannel::inject_fault`]).
+    pub fn inject_fault(&self) -> bool {
+        self.channel.borrow_mut().inject_fault()
     }
 
-    /// Channel counters.
+    /// Channel counters (cloned out of the shared channel).
     pub fn stats(&self) -> PairStats {
-        self.channel.borrow().stats()
+        self.channel.borrow().stats().clone()
     }
 
     /// Resets channel counters (after warm-up).

@@ -14,6 +14,7 @@ use mmm_types::CoreId;
 
 use crate::event::{Event, SchedAction, TraceRecord};
 use crate::json::Json;
+use crate::sampler::MetricsSeries;
 
 /// Builds the full Chrome trace JSON document from a record stream.
 ///
@@ -22,6 +23,35 @@ use crate::json::Json;
 /// thread name. `end` closes any still-open mode slice (pass the final
 /// simulated cycle).
 pub fn chrome_trace(records: &[TraceRecord], num_cores: usize, end: u64) -> String {
+    render_trace(base_events(records, num_cores, end))
+}
+
+/// Like [`chrome_trace`], but appends the sampled metrics series as
+/// Perfetto counter tracks (`"ph":"C"` events) after the base events,
+/// so the per-core timelines are byte-identical to the plain export.
+pub fn chrome_trace_with_counters(
+    records: &[TraceRecord],
+    num_cores: usize,
+    end: u64,
+    series: &MetricsSeries,
+) -> String {
+    let mut events = base_events(records, num_cores, end);
+    events.extend(series.counter_events());
+    render_trace(events)
+}
+
+/// Wraps the event list in the trace-document envelope.
+fn render_trace(events: Vec<Json>) -> String {
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ns")),
+    ])
+    .render()
+}
+
+/// The per-core metadata, mode slices, and instant events shared by
+/// both export flavors.
+fn base_events(records: &[TraceRecord], num_cores: usize, end: u64) -> Vec<Json> {
     let mut events: Vec<Json> = Vec::with_capacity(records.len() + num_cores * 2 + 1);
 
     events.push(meta_process_name());
@@ -143,11 +173,7 @@ pub fn chrome_trace(records: &[TraceRecord], num_cores: usize, end: u64) -> Stri
         }
     }
 
-    Json::obj([
-        ("traceEvents", Json::Arr(events)),
-        ("displayTimeUnit", Json::str("ns")),
-    ])
-    .render()
+    events
 }
 
 /// The mode track's thread id for a core.
@@ -273,5 +299,39 @@ mod tests {
             },
         )];
         assert_eq!(chrome_trace(&records, 2, 10), chrome_trace(&records, 2, 10));
+    }
+
+    #[test]
+    fn counters_extend_the_plain_trace() {
+        use crate::sampler::{MetricsSample, MetricsSeries};
+
+        let records = vec![rec(
+            0,
+            5,
+            Event::PabDeny {
+                core: CoreId(1),
+                page: 77,
+            },
+        )];
+        let series = MetricsSeries {
+            interval: 10,
+            samples: vec![MetricsSample {
+                at: 10,
+                counters: vec![("pab.lookups".to_string(), 3)],
+                gauges: vec![],
+                histograms: vec![],
+            }],
+        };
+        let plain = chrome_trace(&records, 2, 10);
+        let with = chrome_trace_with_counters(&records, 2, 10, &series);
+        assert!(with.contains("\"ph\":\"C\""), "{with}");
+        assert!(with.contains("\"pab.lookups\""), "{with}");
+        // The base events are a prefix: appending counters must not
+        // perturb the plain export's timelines.
+        let plain_events = plain.trim_end_matches("],\"displayTimeUnit\":\"ns\"}");
+        assert!(with.starts_with(plain_events), "base events must match");
+        // Empty series degenerates to the plain trace.
+        let empty = chrome_trace_with_counters(&records, 2, 10, &MetricsSeries::default());
+        assert_eq!(empty, plain);
     }
 }

@@ -10,6 +10,11 @@
 //! * **Metrics** — a [`MetricsRegistry`] of named counters, gauges,
 //!   histograms, and running stats into which every component's
 //!   statistics export, giving one flat, mergeable namespace.
+//! * **Flight recorder** — a [`Sampler`] that snapshots the registry
+//!   every N simulated cycles into a compact [`MetricsSeries`]
+//!   (counter deltas, gauge last-values, histogram deltas),
+//!   exportable as `metrics.jsonl` or Perfetto counter tracks. Off by
+//!   default and free when off.
 //! * **Exporters** — a hand-rolled [`json`] serializer (the build is
 //!   offline; no serde) feeding [`chrome_trace`] (Perfetto-viewable
 //!   per-core timelines) and JSONL report lines.
@@ -33,10 +38,12 @@ pub mod chrome;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod sampler;
 pub mod sink;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_with_counters};
 pub use event::{Event, SchedAction, TraceRecord, TransitionKind};
 pub use json::Json;
 pub use metrics::MetricsRegistry;
+pub use sampler::{MetricsSample, MetricsSeries, Sampler};
 pub use sink::{NullSink, RingSink, TraceSink, Tracer};

@@ -88,6 +88,11 @@ impl MetricsRegistry {
         self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Log2Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
     /// Absorbs another registry: counters add, gauges overwrite,
     /// histograms and stats merge.
     pub fn merge(&mut self, other: &MetricsRegistry) {

@@ -1,0 +1,353 @@
+//! The flight recorder: interval snapshots of the metrics registry.
+//!
+//! A [`Sampler`] turns the end-of-run [`MetricsRegistry`] snapshot into
+//! a time-series: every `interval` simulated cycles the simulator hands
+//! it the current cumulative registry and the sampler stores what
+//! *moved* since the previous boundary — counter deltas, gauge last
+//! values, and log2-bucket histogram deltas (running stats are skipped;
+//! the layers that matter export parallel histograms instead). The
+//! result is a compact [`MetricsSeries`] exportable as a
+//! `*.metrics.jsonl` file or as Perfetto counter tracks.
+//!
+//! Like [`Tracer`](crate::Tracer), the disabled handle is free: a
+//! `Sampler::off()` holds no allocation and the simulator's per-tick
+//! check compiles to a single compare against a sentinel cycle.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mmm_types::stats::Log2Histogram;
+use mmm_types::Cycle;
+
+use crate::json::Json;
+use crate::metrics::MetricsRegistry;
+
+/// One sampling boundary: what moved during the preceding interval.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSample {
+    /// Boundary cycle, relative to the start of the measured window.
+    pub at: Cycle,
+    /// Counter increases since the previous boundary, name-sorted;
+    /// counters that did not move are omitted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values as of this boundary, name-sorted (last-value
+    /// semantics — gauges are not deltas).
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram growth since the previous boundary, name-sorted;
+    /// histograms with no new observations are omitted. `max` stays
+    /// cumulative (see [`Log2Histogram::delta_since`]).
+    pub histograms: Vec<(String, Log2Histogram)>,
+}
+
+impl MetricsSample {
+    /// The sample as one JSON object (one `metrics.jsonl` line).
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::U64(*v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::F64(*v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), histogram_json(h)))
+                .collect(),
+        );
+        Json::obj([
+            ("at", Json::U64(self.at)),
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+    }
+}
+
+/// A histogram delta as JSON: summary fields plus the sparse nonzero
+/// buckets as `[bucket_index, count]` pairs.
+fn histogram_json(h: &Log2Histogram) -> Json {
+    let buckets = h
+        .bucket_counts()
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| Json::Arr(vec![Json::U64(i as u64), Json::U64(c)]))
+        .collect();
+    Json::obj([
+        ("count", Json::U64(h.count())),
+        ("mean", Json::F64(h.mean())),
+        ("max", Json::U64(h.max())),
+        ("buckets", Json::Arr(buckets)),
+    ])
+}
+
+/// The recorded time-series: a fixed cadence plus one sample per
+/// boundary, in time order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSeries {
+    /// Sampling cadence in simulated cycles.
+    pub interval: Cycle,
+    /// Samples in increasing `at` order.
+    pub samples: Vec<MetricsSample>,
+}
+
+impl MetricsSeries {
+    /// Renders the series as JSONL: a header line carrying the cadence
+    /// and run identity, then one line per sample.
+    pub fn to_jsonl(&self, config: &str, benchmark: &str) -> String {
+        let mut out = Json::obj([
+            ("interval", Json::U64(self.interval)),
+            ("config", Json::str(config)),
+            ("benchmark", Json::str(benchmark)),
+            ("samples", Json::U64(self.samples.len() as u64)),
+        ])
+        .render();
+        out.push('\n');
+        for s in &self.samples {
+            out.push_str(&s.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The series as Chrome trace-event counter events (`"ph":"C"`),
+    /// one per counter delta and gauge per sample, timestamps in
+    /// sample order (so per-name timestamps are monotone).
+    pub fn counter_events(&self) -> Vec<Json> {
+        let mut events = Vec::new();
+        for s in &self.samples {
+            for (name, v) in &s.counters {
+                events.push(counter_event(name, s.at, Json::U64(*v)));
+            }
+            for (name, v) in &s.gauges {
+                events.push(counter_event(name, s.at, Json::F64(*v)));
+            }
+        }
+        events
+    }
+}
+
+/// One Perfetto counter-track event.
+fn counter_event(name: &str, at: Cycle, value: Json) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("ph", Json::str("C")),
+        ("pid", Json::U64(1)),
+        ("ts", Json::U64(at)),
+        ("args", Json::Obj(vec![("value".to_string(), value)])),
+    ])
+}
+
+/// Shared state behind an enabled sampler handle.
+#[derive(Clone, Debug)]
+struct SamplerCore {
+    interval: Cycle,
+    /// Cumulative registry as of the last boundary (deltas subtract
+    /// against this).
+    base: MetricsRegistry,
+    series: MetricsSeries,
+}
+
+/// A cheap, cloneable handle to an optional shared flight recorder.
+///
+/// `Sampler::off()` (the default) holds nothing: no allocation, and
+/// every query on it is a branch on `None`. [`Sampler::every`] turns
+/// sampling on; clones share the recording.
+#[derive(Clone, Debug, Default)]
+pub struct Sampler {
+    inner: Option<Rc<RefCell<SamplerCore>>>,
+}
+
+impl Sampler {
+    /// The zero-overhead disabled sampler (same as `default()`).
+    pub fn off() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled sampler taking a boundary every `interval` simulated
+    /// cycles. Panics if `interval` is zero.
+    pub fn every(interval: Cycle) -> Self {
+        assert!(interval > 0, "sampling interval must be nonzero");
+        Self {
+            inner: Some(Rc::new(RefCell::new(SamplerCore {
+                interval,
+                base: MetricsRegistry::new(),
+                series: MetricsSeries {
+                    interval,
+                    samples: Vec::new(),
+                },
+            }))),
+        }
+    }
+
+    /// Whether boundaries are being recorded.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The sampling cadence, if enabled.
+    pub fn interval(&self) -> Option<Cycle> {
+        self.inner.as_ref().map(|c| c.borrow().interval)
+    }
+
+    /// Discards any recorded samples and re-bases deltas on `current`
+    /// (the cumulative registry right now). Called when measurement
+    /// (re)starts so warmup movement never leaks into the series.
+    pub fn rebase(&self, current: &MetricsRegistry) {
+        if let Some(inner) = &self.inner {
+            let mut core = inner.borrow_mut();
+            core.base = current.clone();
+            core.series.samples.clear();
+        }
+    }
+
+    /// Records a boundary at relative cycle `at`: stores what moved in
+    /// `current` since the previous boundary, then makes `current` the
+    /// new base. No-op when off.
+    pub fn record(&self, at: Cycle, current: &MetricsRegistry) {
+        let Some(inner) = &self.inner else { return };
+        let mut core = inner.borrow_mut();
+        let counters = current
+            .counters()
+            .filter_map(|(name, v)| {
+                let delta = v.saturating_sub(core.base.counter(name));
+                (delta > 0).then(|| (name.to_string(), delta))
+            })
+            .collect();
+        let gauges = current
+            .gauges()
+            .map(|(name, v)| (name.to_string(), v))
+            .collect();
+        let empty = Log2Histogram::new();
+        let histograms = current
+            .histograms()
+            .filter_map(|(name, h)| {
+                let base = core.base.histogram(name).unwrap_or(&empty);
+                let delta = h.delta_since(base);
+                (delta.count() > 0).then(|| (name.to_string(), delta))
+            })
+            .collect();
+        core.series.samples.push(MetricsSample {
+            at,
+            counters,
+            gauges,
+            histograms,
+        });
+        core.base = current.clone();
+    }
+
+    /// Clones out the recorded series (None when off).
+    pub fn series(&self) -> Option<MetricsSeries> {
+        self.inner.as_ref().map(|c| c.borrow().series.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(c: u64, g: f64, h: &[u64]) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.count("a.ops", c);
+        m.gauge("a.level", g);
+        for &v in h {
+            m.observe("a.lat", v);
+        }
+        m
+    }
+
+    #[test]
+    fn off_sampler_is_inert() {
+        let s = Sampler::off();
+        assert!(!s.is_on());
+        assert_eq!(s.interval(), None);
+        s.record(10, &registry(1, 0.5, &[3]));
+        assert!(s.series().is_none());
+    }
+
+    #[test]
+    fn record_stores_deltas_and_last_values() {
+        let s = Sampler::every(10);
+        s.rebase(&MetricsRegistry::new());
+        s.record(10, &registry(5, 0.25, &[4, 4]));
+        s.record(20, &registry(5, 0.75, &[4, 4, 900]));
+        let series = s.series().expect("enabled");
+        assert_eq!(series.interval, 10);
+        assert_eq!(series.samples.len(), 2);
+
+        let first = &series.samples[0];
+        assert_eq!(first.counters, vec![("a.ops".to_string(), 5)]);
+        assert_eq!(first.gauges, vec![("a.level".to_string(), 0.25)]);
+        assert_eq!(first.histograms.len(), 1);
+        assert_eq!(first.histograms[0].1.count(), 2);
+
+        // Second interval: counter unchanged -> omitted; gauge keeps
+        // last value; histogram delta is the single new observation.
+        let second = &series.samples[1];
+        assert!(second.counters.is_empty());
+        assert_eq!(second.gauges, vec![("a.level".to_string(), 0.75)]);
+        assert_eq!(second.histograms.len(), 1);
+        assert_eq!(second.histograms[0].1.count(), 1);
+        assert_eq!(second.histograms[0].1.max(), 900);
+    }
+
+    #[test]
+    fn rebase_discards_warmup_movement() {
+        let s = Sampler::every(100);
+        s.record(50, &registry(3, 0.0, &[]));
+        s.rebase(&registry(3, 0.0, &[]));
+        s.record(100, &registry(3, 0.0, &[]));
+        let series = s.series().expect("enabled");
+        assert_eq!(series.samples.len(), 1, "pre-rebase sample dropped");
+        assert!(
+            series.samples[0].counters.is_empty(),
+            "counter movement before rebase must not reappear"
+        );
+    }
+
+    #[test]
+    fn jsonl_has_header_then_samples() {
+        let s = Sampler::every(10);
+        s.rebase(&MetricsRegistry::new());
+        s.record(10, &registry(2, 1.5, &[7]));
+        let out = s.series().expect("on").to_jsonl("base", "oltp");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"interval\":10"), "{out}");
+        assert!(lines[0].contains("\"config\":\"base\""), "{out}");
+        assert!(lines[0].contains("\"benchmark\":\"oltp\""), "{out}");
+        assert!(lines[1].contains("\"at\":10"), "{out}");
+        assert!(lines[1].contains("\"a.ops\":2"), "{out}");
+        assert!(lines[1].contains("\"buckets\":[[3,1]]"), "{out}");
+    }
+
+    #[test]
+    fn counter_events_are_well_formed_and_monotone() {
+        let s = Sampler::every(10);
+        s.rebase(&MetricsRegistry::new());
+        s.record(10, &registry(2, 1.0, &[]));
+        s.record(20, &registry(4, 2.0, &[]));
+        let events = s.series().expect("on").counter_events();
+        assert_eq!(events.len(), 4, "counter + gauge per sample");
+        let rendered: Vec<String> = events.iter().map(|e| e.render()).collect();
+        assert!(rendered[0].contains("\"ph\":\"C\""), "{}", rendered[0]);
+        assert!(rendered[0].contains("\"ts\":10"), "{}", rendered[0]);
+        assert!(rendered[2].contains("\"ts\":20"), "{}", rendered[2]);
+        assert!(rendered[0].contains("\"value\":2"), "{}", rendered[0]);
+    }
+
+    #[test]
+    fn clones_share_the_recording() {
+        let a = Sampler::every(5);
+        let b = a.clone();
+        a.record(5, &registry(1, 0.0, &[]));
+        assert_eq!(b.series().expect("shared").samples.len(), 1);
+    }
+}

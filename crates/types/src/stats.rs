@@ -111,7 +111,7 @@ pub fn mean_ci95(samples: &[f64]) -> (f64, f64) {
 
 /// A histogram over power-of-two buckets, for latency and interval
 /// distributions (e.g. cycles between mode switches).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Log2Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -200,6 +200,28 @@ impl Log2Histogram {
     /// holds values in `[2^(i-1), 2^i)`.
     pub fn bucket_counts(&self) -> &[u64] {
         &self.buckets
+    }
+
+    /// The per-bucket increase since `earlier`, where `earlier` must be
+    /// a previous snapshot of the same growing histogram (every bucket
+    /// of `earlier` ≤ the matching bucket of `self`).
+    ///
+    /// `count` and `sum` subtract exactly; `max` keeps the cumulative
+    /// maximum (a histogram cannot un-see its largest value), which is
+    /// the standard convention for interval-scoped latency snapshots.
+    pub fn delta_since(&self, earlier: &Log2Histogram) -> Log2Histogram {
+        let buckets = self
+            .buckets
+            .iter()
+            .zip(&earlier.buckets)
+            .map(|(a, b)| a - b)
+            .collect();
+        Log2Histogram {
+            buckets,
+            count: self.count - earlier.count,
+            sum: self.sum - earlier.sum,
+            max: self.max,
+        }
     }
 
     /// Renders the nonzero buckets as an ASCII bar chart.
@@ -330,6 +352,28 @@ mod tests {
         assert_eq!(b[0], 1);
         assert_eq!(b[1], 1);
         assert_eq!(b[2], 1);
+    }
+
+    #[test]
+    fn histogram_delta_since_inverts_growth() {
+        let mut earlier = Log2Histogram::new();
+        earlier.record(5);
+        earlier.record(70);
+        let mut later = earlier.clone();
+        later.record(7);
+        later.record(900);
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.max(), 900, "max stays cumulative");
+        assert!((delta.mean() - (907.0 / 2.0)).abs() < 1e-9);
+        // Re-merging the delta onto the earlier snapshot restores the
+        // bucket contents exactly.
+        let mut rebuilt = earlier.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt.bucket_counts(), later.bucket_counts());
+        assert_eq!(rebuilt.count(), later.count());
+        // Snapshot minus itself is empty.
+        assert_eq!(later.delta_since(&later).count(), 0);
     }
 
     #[test]

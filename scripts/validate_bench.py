@@ -5,8 +5,9 @@ Usage: ``validate_bench.py <file> [<file> ...]``
 
 Each file must be a single JSON object (one line) with the schema
 written by ``perf_smoke``: identity fields, a positive measured cycle
-count, finite non-negative wall/throughput numbers, and a per-rep
-wall-seconds list consistent with the rep count. Exits non-zero
+count, finite non-negative wall/throughput numbers, a per-rep
+wall-seconds list consistent with the rep count, and run provenance
+(a non-negative Unix ``timestamp`` plus a non-empty ``host`` name). Exits non-zero
 (failing CI) on any malformed file. Uses only the Python standard
 library.
 """
@@ -26,6 +27,8 @@ REQUIRED = {
     "reps": int,
     "rep_wall_seconds": list,
     "git_describe": str,
+    "timestamp": (int, float),
+    "host": str,
 }
 
 
@@ -67,6 +70,11 @@ def validate(path: str) -> None:
         float(w) for w in walls
     ):
         fail(f"{path}: wall_seconds must be the fastest repetition")
+    ts = float(obj["timestamp"])
+    if not math.isfinite(ts) or ts < 0.0:
+        fail(f"{path}: timestamp must be finite and non-negative, got {ts}")
+    if not obj["host"].strip():
+        fail(f"{path}: host must be a non-empty string")
     print(
         f"validate_bench: OK: {path}: {obj['sim_cycles_per_sec']:.0f} "
         f"cycles/sec over {obj['measured_cycles']} cycles "

@@ -10,7 +10,16 @@ Two modes:
 * ``validate_trace.py trace <file>`` — checks a ``*.trace.json`` file
   is a well-formed Chrome trace-event document that Perfetto will
   load: a ``traceEvents`` array whose entries carry the mandatory
-  ``ph``/``pid``/``ts`` fields, with at least one per-core mode slice.
+  ``ph``/``pid``/``ts`` fields, with at least one per-core mode slice,
+  and whose counter-track events (``"ph":"C"``) are well-formed — a
+  name, a non-negative integer ``ts`` monotone per counter name, and a
+  numeric ``args.value``.
+* ``validate_trace.py metrics <file>`` — checks a ``*.metrics.jsonl``
+  flight-recorder export: a header line with a positive integer
+  ``interval`` and a ``samples`` count matching the body, then sample
+  lines with strictly increasing ``at``, non-negative integer counter
+  deltas, and well-formed histogram deltas (``count``/``mean``/
+  ``max``/``buckets`` with ``[index, count]`` pairs).
 
 Exits non-zero (failing CI) on any malformed input. Uses only the
 Python standard library.
@@ -79,6 +88,8 @@ def validate_trace_file(path: str) -> None:
     if not isinstance(events, list) or not events:
         fail(f"{path}: traceEvents must be a non-empty array")
     mode_slices = 0
+    counters = 0
+    last_counter_ts: dict = {}
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             fail(f"{path}: traceEvents[{i}] is not an object")
@@ -92,9 +103,104 @@ def validate_trace_file(path: str) -> None:
             # Mode slices live on even tids (see mmm-trace's chrome.rs).
             if ev.get("tid", 1) % 2 == 0:
                 mode_slices += 1
+        if ev["ph"] == "C":
+            name = ev.get("name")
+            if not isinstance(name, str) or not name:
+                fail(f"{path}: traceEvents[{i}] counter needs a name")
+            ts = ev.get("ts")
+            if not isinstance(ts, int) or isinstance(ts, bool) or ts < 0:
+                fail(f"{path}: traceEvents[{i}] counter needs integer ts >= 0")
+            if ts < last_counter_ts.get(name, 0):
+                fail(f"{path}: counter {name!r} timestamps go backwards at [{i}]")
+            last_counter_ts[name] = ts
+            value = ev.get("args", {}).get("value")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(f"{path}: traceEvents[{i}] counter needs numeric args.value")
+            counters += 1
     if mode_slices == 0:
         fail(f"{path}: no per-core mode slices found")
-    print(f"validate_trace: OK: {len(events)} trace events, {mode_slices} mode slice(s)")
+    print(
+        f"validate_trace: OK: {len(events)} trace events, "
+        f"{mode_slices} mode slice(s), {counters} counter event(s)"
+    )
+
+
+def validate_histogram(where: str, name: str, h) -> None:
+    if not isinstance(h, dict):
+        fail(f"{where}: histogram {name!r} is not an object")
+    count = h.get("count")
+    if not isinstance(count, int) or isinstance(count, bool) or count <= 0:
+        fail(f"{where}: histogram {name!r} needs a positive count")
+    mean = h.get("mean")
+    if not isinstance(mean, (int, float)) or isinstance(mean, bool) or mean < 0:
+        fail(f"{where}: histogram {name!r} needs a non-negative mean")
+    hmax = h.get("max")
+    if not isinstance(hmax, int) or isinstance(hmax, bool) or hmax < 0:
+        fail(f"{where}: histogram {name!r} needs a non-negative integer max")
+    buckets = h.get("buckets")
+    if not isinstance(buckets, list):
+        fail(f"{where}: histogram {name!r} needs a buckets array")
+    total = 0
+    for b in buckets:
+        if (
+            not isinstance(b, list)
+            or len(b) != 2
+            or not all(isinstance(x, int) and not isinstance(x, bool) for x in b)
+            or b[1] <= 0
+        ):
+            fail(f"{where}: histogram {name!r} bucket {b!r} is not [index, count]")
+        total += b[1]
+    if total != count:
+        fail(f"{where}: histogram {name!r} bucket counts sum {total} != count {count}")
+
+
+def validate_metrics_file(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = [json.loads(l) for l in f if l.strip()]
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not lines:
+        fail(f"{path}: empty file")
+    header, samples = lines[0], lines[1:]
+    interval = header.get("interval")
+    if not isinstance(interval, int) or isinstance(interval, bool) or interval <= 0:
+        fail(f"{path}: header needs a positive integer interval")
+    for key in ("config", "benchmark"):
+        if not isinstance(header.get(key), str) or not header[key]:
+            fail(f"{path}: header needs a non-empty {key!r}")
+    if header.get("samples") != len(samples):
+        fail(f"{path}: header says {header.get('samples')} samples, found {len(samples)}")
+    prev_at = -1
+    for i, s in enumerate(samples):
+        where = f"{path}: sample {i}"
+        at = s.get("at")
+        if not isinstance(at, int) or isinstance(at, bool) or at < 0:
+            fail(f"{where}: needs integer at >= 0")
+        if at <= prev_at:
+            fail(f"{where}: at={at} does not increase (previous {prev_at})")
+        prev_at = at
+        counters = s.get("counters")
+        if not isinstance(counters, dict):
+            fail(f"{where}: needs a counters object")
+        for name, v in counters.items():
+            if not isinstance(v, int) or isinstance(v, bool) or v <= 0:
+                fail(f"{where}: counter {name!r} delta must be a positive integer")
+        gauges = s.get("gauges")
+        if not isinstance(gauges, dict):
+            fail(f"{where}: needs a gauges object")
+        for name, v in gauges.items():
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                fail(f"{where}: gauge {name!r} must be numeric")
+        histograms = s.get("histograms")
+        if not isinstance(histograms, dict):
+            fail(f"{where}: needs a histograms object")
+        for name, h in histograms.items():
+            validate_histogram(where, name, h)
+    print(
+        f"validate_trace: OK: {path}: {len(samples)} sample(s) "
+        f"at interval {interval}"
+    )
 
 
 def main() -> None:
@@ -102,8 +208,13 @@ def main() -> None:
         validate_jsonl_stdin()
     elif len(sys.argv) == 3 and sys.argv[1] == "trace":
         validate_trace_file(sys.argv[2])
+    elif len(sys.argv) == 3 and sys.argv[1] == "metrics":
+        validate_metrics_file(sys.argv[2])
     else:
-        fail(f"usage: {sys.argv[0]} [trace <file.trace.json>]")
+        fail(
+            f"usage: {sys.argv[0]} "
+            "[trace <file.trace.json> | metrics <file.metrics.jsonl>]"
+        )
 
 
 if __name__ == "__main__":

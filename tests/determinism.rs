@@ -147,3 +147,72 @@ fn report_is_invariant_across_threads_and_tracing() {
         );
     }
 }
+
+/// The flight recorder is an observability knob with the same
+/// contract as tracing: attaching a sampler leaves the report
+/// bit-identical, and the recorded time-series itself is invariant
+/// across cycle fast-forwarding (skipped spans settle and boundary
+/// samples still fire) and across the experiment driver's worker
+/// thread count.
+#[test]
+fn sampled_series_is_invariant_across_skipping_and_threads() {
+    use mixed_mode_multicore::mmm::Experiment;
+
+    let mut e = Experiment::default();
+    e.cfg.virt.timeslice_cycles = 120_000;
+    e.warmup = 20_000;
+    e.measure = 150_000;
+    e.seeds = vec![7];
+    let modes = [
+        Workload::ReunionDmr(Benchmark::Apache),
+        Workload::Consolidated {
+            bench: Benchmark::Apache,
+            policy: MixedPolicy::MmmTp,
+        },
+        Workload::SingleOsMixed(Benchmark::Apache),
+    ];
+    for w in modes {
+        // Baseline: no sampler, skipping on.
+        let plain = canonical_json(e.run_one(w, 7).unwrap());
+
+        let mut es = e.clone();
+        es.sample_interval = Some(25_000);
+        let mut sampled = es.run_one(w, 7).unwrap();
+        let series = sampled.series.take().expect("sampler attached");
+        assert!(!series.samples.is_empty(), "{}: series recorded", w.name());
+        assert_eq!(
+            canonical_json(sampled),
+            plain,
+            "{}: sampling must not change the report",
+            w.name()
+        );
+
+        // Fast-forwarding off: same report, same series.
+        let mut eskip = es.clone();
+        eskip.cycle_skipping = false;
+        let mut noskip = eskip.run_one(w, 7).unwrap();
+        assert_eq!(
+            noskip.series.take().as_ref(),
+            Some(&series),
+            "{}: series must be skip-invariant",
+            w.name()
+        );
+        assert_eq!(
+            canonical_json(noskip),
+            plain,
+            "{}: skip-off must not change the report",
+            w.name()
+        );
+
+        // Same job through the work-queue at different pool sizes.
+        for threads in [1, 4] {
+            let run = es.run_many_on(&[w], threads).unwrap().remove(0);
+            assert_eq!(
+                run.reports[0].series.as_ref(),
+                Some(&series),
+                "{}: series must not depend on thread count ({threads})",
+                w.name()
+            );
+        }
+    }
+}
