@@ -1,0 +1,50 @@
+//! Simulator-throughput smoke benchmark, fault-injection path.
+//!
+//! The sibling of `perf_smoke` for exactly the runs the paper's
+//! reliability story cares about: the same Reunion/OLTP reference
+//! configuration, but with transient-fault injection enabled (1e-5
+//! faults per core-cycle — the second-highest rate of the
+//! `fault_coverage` campaign, dense enough that the injection path is
+//! genuinely exercised). Before the event-wheel scheduler, enabling
+//! the injector disabled cycle fast-forwarding entirely, so this
+//! baseline tracks the simulator's throughput on fault campaigns
+//! specifically.
+//!
+//! The second config covers the other formerly skip-disabled mode:
+//! `SingleOsMixed(Apache)` — the per-syscall Enter/Leave-DMR machine
+//! of Table 2 / §5.3, whose trap poll used to force a tick every
+//! cycle.
+//!
+//! Writes `BENCH_faultloop.json` and `BENCH_singleos.json` at the
+//! repo root (same schema as `BENCH_hotloop.json`, validated by
+//! `scripts/validate_bench.py`); both are regression-gated in CI via
+//! `mmm-inspect --only sim_cycles_per_sec --direction down`. Budgets
+//! honour `MMM_WARMUP` / `MMM_MEASURE`; repetitions honour
+//! `MMM_PERF_REPS`.
+
+use mmm_bench::experiment_sized;
+use mmm_bench::perf::{run_perf_baseline, PerfSpec};
+use mmm_core::Workload;
+use mmm_workload::Benchmark;
+
+fn main() -> mmm_types::Result<()> {
+    let e = experiment_sized(500_000, 2_000_000);
+    run_perf_baseline(
+        &e,
+        &PerfSpec {
+            name: "faultloop",
+            workload: Workload::ReunionDmr(Benchmark::Oltp),
+            seed: 1,
+            fault_rate: Some(1e-5),
+        },
+    )?;
+    run_perf_baseline(
+        &e,
+        &PerfSpec {
+            name: "singleos",
+            workload: Workload::SingleOsMixed(Benchmark::Apache),
+            seed: 1,
+            fault_rate: None,
+        },
+    )
+}

@@ -11,121 +11,23 @@
 //! Cycle budget honours `MMM_WARMUP` / `MMM_MEASURE` like every other
 //! bench binary, defaulting to 500 k warm-up + 2 M measured cycles;
 //! CI runs it on a tiny budget and only validates the JSON shape.
-//!
-//! The run is repeated `MMM_PERF_REPS` times (default 3) and the
-//! *fastest* repetition is reported: the simulation itself is
-//! bit-identical across repetitions, so wall-clock spread is pure host
-//! noise and the minimum is the least-contended estimate.
+//! Repetition and best-of selection live in [`mmm_bench::perf`];
+//! `perf_fault_smoke` is the injection-enabled sibling.
 
 use mmm_bench::experiment_sized;
+use mmm_bench::perf::{run_perf_baseline, PerfSpec};
 use mmm_core::Workload;
-use mmm_trace::Json;
 use mmm_workload::Benchmark;
-
-/// `git describe --always --dirty`, or `"unknown"` outside a git
-/// checkout.
-fn git_describe() -> String {
-    std::process::Command::new("git")
-        .args(["describe", "--always", "--dirty", "--tags"])
-        .current_dir(env!("CARGO_MANIFEST_DIR"))
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
-/// Seconds since the Unix epoch at invocation. Host state enters the
-/// baseline only here, in the harness — never inside the simulator,
-/// whose outputs stay bit-identical.
-fn unix_timestamp() -> u64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0)
-}
-
-/// Best-effort host name: `$HOSTNAME`, else `hostname(1)`, else
-/// `"unknown"`.
-fn host_name() -> String {
-    if let Ok(h) = std::env::var("HOSTNAME") {
-        if !h.trim().is_empty() {
-            return h.trim().to_string();
-        }
-    }
-    std::process::Command::new("hostname")
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
-}
 
 fn main() -> mmm_types::Result<()> {
     let e = experiment_sized(500_000, 2_000_000);
-    let workload = Workload::ReunionDmr(Benchmark::Oltp);
-    let seed = 1;
-
-    eprintln!(
-        "perf_smoke: {} / {} seed {} (warmup {}, measure {})",
-        workload.name(),
-        workload.benchmark().name(),
-        seed,
-        e.warmup,
-        e.measure
-    );
-
-    let reps = std::env::var("MMM_PERF_REPS")
-        .ok()
-        .and_then(|v| v.parse::<u32>().ok())
-        .unwrap_or(3)
-        .max(1);
-    let mut walls = Vec::with_capacity(reps as usize);
-    let mut report = e.run_one(workload, seed)?;
-    walls.push(report.wall_seconds);
-    for _ in 1..reps {
-        let r = e.run_one(workload, seed)?;
-        walls.push(r.wall_seconds);
-        if r.wall_seconds < report.wall_seconds {
-            report = r;
-        }
-    }
-    let cps = if report.wall_seconds > 0.0 {
-        report.cycles as f64 / report.wall_seconds
-    } else {
-        0.0
-    };
-
-    let line = Json::obj([
-        ("bench", Json::str("hotloop")),
-        ("config", Json::str(report.config)),
-        ("benchmark", Json::str(report.benchmark)),
-        ("warmup_cycles", Json::U64(e.warmup)),
-        ("measured_cycles", Json::U64(report.cycles)),
-        ("wall_seconds", Json::F64(report.wall_seconds)),
-        ("sim_cycles_per_sec", Json::F64(cps)),
-        ("reps", Json::U64(reps as u64)),
-        (
-            "rep_wall_seconds",
-            Json::Arr(walls.iter().map(|&w| Json::F64(w)).collect()),
-        ),
-        ("git_describe", Json::str(git_describe())),
-        ("timestamp", Json::U64(unix_timestamp())),
-        ("host", Json::str(host_name())),
-    ])
-    .render();
-
-    println!("{line}");
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotloop.json");
-    if let Err(e) = std::fs::write(out, format!("{line}\n")) {
-        eprintln!("perf_smoke: could not write {out}: {e}");
-    }
-    eprintln!(
-        "perf_smoke: {:.0} simulated cycles/sec ({:.2}s wall) -> BENCH_hotloop.json",
-        cps, report.wall_seconds
-    );
-    Ok(())
+    run_perf_baseline(
+        &e,
+        &PerfSpec {
+            name: "hotloop",
+            workload: Workload::ReunionDmr(Benchmark::Oltp),
+            seed: 1,
+            fault_rate: None,
+        },
+    )
 }

@@ -12,6 +12,7 @@ use mmm_core::{Experiment, RunResult};
 
 pub mod export;
 pub mod harness;
+pub mod perf;
 
 /// Builds the harness experiment template: `MMM_*` env overrides on
 /// top of the given defaults (sized per figure so cache state reaches

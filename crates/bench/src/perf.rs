@@ -1,0 +1,152 @@
+//! Shared plumbing for the simulator-throughput smoke benchmarks.
+//!
+//! `perf_smoke` and `perf_fault_smoke` measure *simulated cycles per
+//! wall-clock second* for one pinned configuration each and write the
+//! result to a `BENCH_*.json` baseline at the repo root (schema
+//! checked by `scripts/validate_bench.py`, regression-gated in CI by
+//! `mmm-inspect --only sim_cycles_per_sec --direction down`). This
+//! module holds everything the two binaries share: run repetition with
+//! best-of selection, provenance capture (git describe, timestamp,
+//! host), and the JSON emission.
+//!
+//! The run is repeated `MMM_PERF_REPS` times (default 3) and the
+//! *fastest* repetition is reported: the simulation itself is
+//! bit-identical across repetitions, so wall-clock spread is pure host
+//! noise and the minimum is the least-contended estimate.
+
+use mmm_core::{Experiment, Workload};
+use mmm_trace::Json;
+use mmm_types::Result;
+
+/// One throughput-baseline benchmark: a pinned workload (plus optional
+/// fault injection) measured into `BENCH_<name>.json`.
+pub struct PerfSpec {
+    /// Baseline name (`hotloop`, `faultloop`): both the `bench` field
+    /// of the JSON and the `BENCH_<name>.json` file stem.
+    pub name: &'static str,
+    /// The pinned workload configuration.
+    pub workload: Workload,
+    /// Experiment seed (pinned so every run simulates the same work).
+    pub seed: u64,
+    /// Fault-injection rate per core-cycle, when the baseline
+    /// exercises the injection path.
+    pub fault_rate: Option<f64>,
+}
+
+/// `git describe --always --dirty`, or `"unknown"` outside a git
+/// checkout.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Seconds since the Unix epoch at invocation. Host state enters the
+/// baseline only here, in the harness — never inside the simulator,
+/// whose outputs stay bit-identical.
+fn unix_timestamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Best-effort host name: `$HOSTNAME`, else `hostname(1)`, else
+/// `"unknown"`.
+fn host_name() -> String {
+    if let Ok(h) = std::env::var("HOSTNAME") {
+        if !h.trim().is_empty() {
+            return h.trim().to_string();
+        }
+    }
+    std::process::Command::new("hostname")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Runs `spec` under the experiment template `e` (`MMM_PERF_REPS`
+/// repetitions, fastest wins), prints the baseline JSON line, and
+/// writes it to `BENCH_<name>.json` at the repo root.
+pub fn run_perf_baseline(e: &Experiment, spec: &PerfSpec) -> Result<()> {
+    let mut e = e.clone();
+    e.fault_rate = spec.fault_rate;
+    eprintln!(
+        "perf_{}: {} / {} seed {} (warmup {}, measure {}{})",
+        spec.name,
+        spec.workload.name(),
+        spec.workload.benchmark().name(),
+        spec.seed,
+        e.warmup,
+        e.measure,
+        match spec.fault_rate {
+            Some(r) => format!(", fault rate {r:.0e}"),
+            None => String::new(),
+        }
+    );
+
+    let reps = std::env::var("MMM_PERF_REPS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(3)
+        .max(1);
+    let mut walls = Vec::with_capacity(reps as usize);
+    let mut report = e.run_one(spec.workload, spec.seed)?;
+    walls.push(report.wall_seconds);
+    for _ in 1..reps {
+        let r = e.run_one(spec.workload, spec.seed)?;
+        walls.push(r.wall_seconds);
+        if r.wall_seconds < report.wall_seconds {
+            report = r;
+        }
+    }
+    let cps = if report.wall_seconds > 0.0 {
+        report.cycles as f64 / report.wall_seconds
+    } else {
+        0.0
+    };
+
+    let line = Json::obj([
+        ("bench", Json::str(spec.name)),
+        ("config", Json::str(report.config)),
+        ("benchmark", Json::str(report.benchmark)),
+        ("warmup_cycles", Json::U64(e.warmup)),
+        ("measured_cycles", Json::U64(report.cycles)),
+        ("wall_seconds", Json::F64(report.wall_seconds)),
+        ("sim_cycles_per_sec", Json::F64(cps)),
+        ("reps", Json::U64(reps as u64)),
+        (
+            "rep_wall_seconds",
+            Json::Arr(walls.iter().map(|&w| Json::F64(w)).collect()),
+        ),
+        ("git_describe", Json::str(git_describe())),
+        ("timestamp", Json::U64(unix_timestamp())),
+        ("host", Json::str(host_name())),
+    ])
+    .render();
+
+    println!("{line}");
+    let out = format!(
+        "{}/../../BENCH_{}.json",
+        env!("CARGO_MANIFEST_DIR"),
+        spec.name
+    );
+    if let Err(err) = std::fs::write(&out, format!("{line}\n")) {
+        eprintln!("perf_{}: could not write {out}: {err}", spec.name);
+    }
+    eprintln!(
+        "perf_{}: {:.0} simulated cycles/sec ({:.2}s wall) -> BENCH_{}.json",
+        spec.name, cps, report.wall_seconds, spec.name
+    );
+    Ok(())
+}

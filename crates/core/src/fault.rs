@@ -170,12 +170,40 @@ impl FaultStats {
     }
 }
 
+/// How the injector turns the fault *rate* into fault *events*.
+///
+/// Both models realize the same machine-level Bernoulli process
+/// (probability `rate × cores` of one fault per cycle); they differ
+/// only in how many RNG draws — and, downstream, how many simulated
+/// cycles — that realization costs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ArrivalModel {
+    /// Pre-drawn geometric inter-arrival events: one draw per fault
+    /// arrival, and [`FaultInjector::next_at`] announces the arrival
+    /// cycle in advance so the system's event wheel can fast-forward
+    /// straight to it. The geometric inter-arrival time is exactly the
+    /// gap distribution of per-cycle Bernoulli trials, so the two
+    /// models are statistically indistinguishable (asserted, with
+    /// tolerance, by `tests/event_wheel.rs`).
+    #[default]
+    Geometric,
+    /// The reference realization: one Bernoulli trial every cycle.
+    /// [`FaultInjector::next_at`] pins the event wheel to the next
+    /// cycle, forcing the per-cycle simulation the geometric model
+    /// exists to avoid. Kept as the statistical baseline the
+    /// equivalence test measures the geometric model against.
+    Bernoulli,
+}
+
 /// Poisson fault-event source.
 #[derive(Debug)]
 pub struct FaultInjector {
     rng: DetRng,
     rate_per_core_cycle: f64,
     cores: u32,
+    model: ArrivalModel,
+    /// Next arrival under [`ArrivalModel::Geometric`] (unused for
+    /// Bernoulli, whose arrivals are drawn cycle by cycle).
     next_at: Cycle,
     /// Outcome counters, updated by the `System` as effects apply.
     pub stats: FaultStats,
@@ -185,36 +213,80 @@ pub struct FaultInjector {
 
 impl FaultInjector {
     /// Creates an injector with the given per-core-per-cycle fault
-    /// rate.
+    /// rate, drawing geometric inter-arrival events.
     pub fn new(rate_per_core_cycle: f64, cores: u32, seed: u64) -> Self {
+        Self::with_model(rate_per_core_cycle, cores, seed, ArrivalModel::Geometric)
+    }
+
+    /// Creates an injector with an explicit [`ArrivalModel`].
+    pub fn with_model(
+        rate_per_core_cycle: f64,
+        cores: u32,
+        seed: u64,
+        model: ArrivalModel,
+    ) -> Self {
         assert!(rate_per_core_cycle > 0.0, "rate must be positive");
         let mut rng = DetRng::new(seed, 0xFA17);
-        let first = rng.geometric(rate_per_core_cycle * cores as f64);
+        let first = match model {
+            ArrivalModel::Geometric => rng.geometric(rate_per_core_cycle * cores as f64),
+            ArrivalModel::Bernoulli => 0,
+        };
         Self {
             rng,
             rate_per_core_cycle,
             cores,
+            model,
             next_at: first,
             stats: FaultStats::default(),
             telemetry: CampaignTelemetry::default(),
         }
     }
 
-    /// Cycle of the next fault event.
+    /// The arrival model in use.
+    pub fn model(&self) -> ArrivalModel {
+        self.model
+    }
+
+    /// The earliest cycle after `now` at which a fault can strike —
+    /// the deadline this injector registers with the event wheel. The
+    /// geometric model knows its next arrival exactly; the Bernoulli
+    /// reference draws every cycle, so its answer is always the next
+    /// cycle (pinning the clock to per-cycle simulation).
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        match self.model {
+            ArrivalModel::Geometric => self.next_at.max(now + 1),
+            ArrivalModel::Bernoulli => now + 1,
+        }
+    }
+
+    /// Cycle of the next fault event (geometric model only; the
+    /// Bernoulli reference does not know its arrivals in advance).
     pub fn next_at(&self) -> Cycle {
         self.next_at
     }
 
     /// If a fault strikes at `now`, returns the struck core and site
-    /// and schedules the next event.
+    /// and (for the geometric model) schedules the next arrival.
     pub fn poll(&mut self, now: Cycle) -> Option<(CoreId, FaultSite)> {
-        if now < self.next_at {
-            return None;
+        match self.model {
+            ArrivalModel::Geometric => {
+                if now < self.next_at {
+                    return None;
+                }
+                self.next_at = now
+                    + self
+                        .rng
+                        .geometric(self.rate_per_core_cycle * self.cores as f64);
+            }
+            ArrivalModel::Bernoulli => {
+                if !self
+                    .rng
+                    .chance(self.rate_per_core_cycle * self.cores as f64)
+                {
+                    return None;
+                }
+            }
         }
-        self.next_at = now
-            + self
-                .rng
-                .geometric(self.rate_per_core_cycle * self.cores as f64);
         self.stats.injected += 1;
         let core = CoreId(self.rng.below(self.cores as u64) as u16);
         // Site mix: logic faults dominate projected future rates

@@ -25,6 +25,10 @@
 //!   through multicore virtualization, §3.5);
 //! * [`fault`] — a transient-fault injector exercising the protection
 //!   paths (DMR detection, PAB wild-store blocking);
+//! * [`wheel`] — the event wheel: the registry of future wake sources
+//!   (timeslice boundaries, sample boundaries, fault arrivals,
+//!   single-OS trap polls) that lets the system clock jump straight
+//!   to the next event in every mode;
 //! * [`system`] — the full-system cycle-level simulator;
 //! * [`experiment`] / [`report`] — the harness that reproduces every
 //!   table and figure of the paper's evaluation (see `DESIGN.md`).
@@ -42,9 +46,10 @@ pub mod sched;
 pub mod system;
 pub mod transition;
 pub mod vcpu;
+pub mod wheel;
 
 pub use experiment::{Experiment, RunResult};
-pub use fault::{FaultInjector, FaultSite, FaultStats};
+pub use fault::{ArrivalModel, FaultInjector, FaultSite, FaultStats};
 pub use mode::RelMode;
 pub use pab::{check_store, Pab, PabStats, PabVerdict};
 pub use pat::Pat;
@@ -52,3 +57,4 @@ pub use sched::{MixedPolicy, VcpuSpec, Workload};
 pub use system::{System, SystemReport, VcpuSlice};
 pub use transition::{TransitionEngine, TransitionStats};
 pub use vcpu::{Assignment, Vcpu};
+pub use wheel::{EventWheel, WakeSource};

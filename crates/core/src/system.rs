@@ -23,13 +23,14 @@ use mmm_types::{CoreId, Cycle, PageAddr, Result, SystemConfig, VcpuId, VmId};
 use mmm_workload::layout::{PAT_BASE, SCRATCHPAD_BASE};
 use mmm_workload::{AddressLayout, OpStream};
 
-use crate::fault::{CampaignTelemetry, FaultInjector, FaultSite, FaultStats};
+use crate::fault::{ArrivalModel, CampaignTelemetry, FaultInjector, FaultSite, FaultStats};
 use crate::mode::RelMode;
 use crate::pab::{Pab, PabStats};
 use crate::pat::Pat;
 use crate::sched::{MixedPolicy, Workload};
 use crate::transition::{TransitionEngine, TransitionStats};
 use crate::vcpu::{Assignment, Vcpu};
+use crate::wheel::{EventWheel, WakeSource};
 
 /// Per-VCPU commit counts over the measured period.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -382,7 +383,6 @@ pub struct System {
     /// telemetry can attribute the detection latency.
     dmr_inject_pending: Vec<VecDeque<(Cycle, FaultSite)>>,
     cycle: Cycle,
-    next_slice: Cycle,
     slice_parity: u8,
     /// Rotation order for the overcommit scheduler (paper §3.5 /
     /// Figure 4): previously paused VCPUs move to the front each
@@ -398,10 +398,12 @@ pub struct System {
     /// Flight-recorder sampler (off by default; see
     /// [`System::attach_sampler`]).
     sampler: Sampler,
-    /// Next cycle at which the sampler fires. `Cycle::MAX` when
-    /// sampling is off, so the hot path pays exactly one always-false
-    /// comparison and allocates nothing.
-    sample_next: Cycle,
+    /// The registry of future system-level wake sources: the timeslice
+    /// boundary, the sampler boundary, the next fault arrival, and the
+    /// single-OS trap poll. Sources that cannot act stay parked at
+    /// `Cycle::MAX` and never pin the clock, so the hot path pays a
+    /// four-way min and nothing else.
+    wheel: EventWheel,
     /// Cycle at which the measured period began; sample timestamps
     /// are relative to it.
     measure_start: Cycle,
@@ -409,6 +411,13 @@ pub struct System {
     /// determinism tests turn it off to prove reports and sampled
     /// series are identical either way.
     skip_enabled: bool,
+    /// Event-wheel escape hatch, read from `MMM_EVENT_WHEEL` at
+    /// construction (`off`/`0` disables). Distinct from
+    /// [`System::set_cycle_skipping`], which the experiment harness
+    /// drives programmatically and would clobber an env-only flag.
+    /// With the wheel off the clock ticks every cycle; reports and
+    /// sampled series are identical either way.
+    wheel_enabled: bool,
 }
 
 impl System {
@@ -454,6 +463,20 @@ impl System {
             .map(|_| Rc::new(RefCell::new(Pab::new(cfg.pab))))
             .collect();
         let n_vcpus = vcpus.len();
+        // The timeslice boundary only drives gang and overcommit
+        // scheduling; for every other workload it stays parked.
+        let mut wheel = EventWheel::new();
+        if workload.gang_policy().is_some() || matches!(workload, Workload::Overcommitted { .. }) {
+            wheel.schedule(WakeSource::Slice, cfg.virt.timeslice_cycles);
+        }
+        // The single-OS trap poll inspects boundary state that only
+        // core ticks can change; start it due so the first tick
+        // computes the real deadline.
+        if matches!(workload, Workload::SingleOsMixed(_)) {
+            wheel.schedule(WakeSource::SingleOsPoll, 0);
+        }
+        let wheel_enabled =
+            std::env::var("MMM_EVENT_WHEEL").map_or(true, |v| v != "off" && v != "0");
         let mut sys = System {
             cfg: cfg.clone(),
             workload,
@@ -469,16 +492,16 @@ impl System {
             privreg_armed: vec![None; n_vcpus],
             dmr_inject_pending: (0..cfg.pairs()).map(|_| VecDeque::new()).collect(),
             cycle: 0,
-            next_slice: cfg.virt.timeslice_cycles,
             slice_parity: 0,
             overcommit_order: Vec::new(),
             retired_pair_stats: PairStats::default(),
             fault_token_seq: 1 << 61,
             tracer: Tracer::off(),
             sampler: Sampler::off(),
-            sample_next: Cycle::MAX,
+            wheel,
             measure_start: 0,
             skip_enabled: true,
+            wheel_enabled,
         };
         sys.prewarm_scratchpad();
         sys.install_initial_assignments();
@@ -503,9 +526,22 @@ impl System {
     }
 
     /// Enables transient-fault injection at `rate` faults per core per
-    /// cycle.
+    /// cycle, with arrivals pre-drawn as geometric inter-arrival
+    /// events so the event wheel can jump straight to each strike.
     pub fn enable_fault_injection(&mut self, rate: f64, seed: u64) {
-        self.injector = Some(FaultInjector::new(rate, self.cfg.cores, seed));
+        self.enable_fault_injection_with(rate, seed, ArrivalModel::Geometric);
+    }
+
+    /// Enables transient-fault injection with an explicit
+    /// [`ArrivalModel`]. The Bernoulli reference model draws one trial
+    /// every cycle (pinning the clock to per-cycle simulation); the
+    /// statistical-equivalence test uses it as the baseline the
+    /// geometric model is measured against.
+    pub fn enable_fault_injection_with(&mut self, rate: f64, seed: u64, model: ArrivalModel) {
+        let inj = FaultInjector::with_model(rate, self.cfg.cores, seed, model);
+        self.wheel
+            .schedule(WakeSource::Fault, inj.next_event(self.cycle));
+        self.injector = Some(inj);
     }
 
     /// Attaches an event tracer: clones of the handle are distributed
@@ -561,16 +597,16 @@ impl System {
     /// hot path pays a single always-false comparison.
     pub fn attach_sampler(&mut self, sampler: Sampler) {
         self.sampler = sampler;
-        match self.sampler.interval() {
-            Some(interval) => {
-                let snapshot = self
-                    .report(self.cycle.saturating_sub(self.measure_start))
-                    .metrics();
-                self.sampler.rebase(&snapshot);
-                self.sample_next = self.cycle + interval;
-            }
-            None => self.sample_next = Cycle::MAX,
+        if self.sampler.interval().is_some() {
+            let snapshot = self
+                .report(self.cycle.saturating_sub(self.measure_start))
+                .metrics();
+            self.sampler.rebase(&snapshot);
         }
+        // `next_boundary` parks the slot at `Cycle::MAX` when sampling
+        // is off.
+        self.wheel
+            .schedule(WakeSource::Sample, self.sampler.next_boundary(self.cycle));
     }
 
     /// The attached sampler (off unless [`System::attach_sampler`]
@@ -599,8 +635,8 @@ impl System {
         let rel = now.saturating_sub(self.measure_start);
         let snapshot = self.report(rel).metrics();
         self.sampler.record(rel, &snapshot);
-        let interval = self.sampler.interval().expect("sampling is on");
-        self.sample_next = now + interval;
+        self.wheel
+            .schedule(WakeSource::Sample, self.sampler.next_boundary(now));
     }
 
     /// Current cycle.
@@ -1331,20 +1367,20 @@ impl System {
     /// Advances the machine one cycle.
     pub fn tick(&mut self) {
         let now = self.cycle;
-        if now >= self.sample_next {
+        if now >= self.wheel.at(WakeSource::Sample) {
+            // Reschedules its own slot.
             self.take_sample(now);
         }
-        if let Some(policy) = self.workload.gang_policy() {
-            if now >= self.next_slice {
+        if now >= self.wheel.at(WakeSource::Slice) {
+            let next = self.wheel.at(WakeSource::Slice) + self.cfg.virt.timeslice_cycles;
+            if let Some(policy) = self.workload.gang_policy() {
                 self.gang_switch(policy, now);
-                self.next_slice += self.cfg.virt.timeslice_cycles;
+            } else {
+                self.overcommit_switch(now);
             }
+            self.wheel.schedule(WakeSource::Slice, next);
         }
-        if matches!(self.workload, Workload::Overcommitted { .. }) && now >= self.next_slice {
-            self.overcommit_switch(now);
-            self.next_slice += self.cfg.virt.timeslice_cycles;
-        }
-        if matches!(self.workload, Workload::SingleOsMixed(_)) {
+        if now >= self.wheel.at(WakeSource::SingleOsPoll) {
             self.poll_single_os(now);
         }
         if let Some(inj) = self.injector.as_mut() {
@@ -1367,6 +1403,11 @@ impl System {
         }
         for (slot, pair) in self.pairs.iter().enumerate() {
             let Some(pair) = pair else { continue };
+            // The dirty flag only rises during core ticks, so a clean
+            // pair has nothing queued — skip the channel call.
+            if !pair.needs_service() {
+                continue;
+            }
             for detected_at in pair.service(&mut self.mem) {
                 // A fingerprint mismatch caused by an injected fault:
                 // attribute the detection back to its injection for
@@ -1381,34 +1422,63 @@ impl System {
                 }
             }
         }
+        // Re-register the event sources whose deadlines this tick may
+        // have moved: the next fault arrival (re-drawn by `poll`) and
+        // the single-OS trap poll (its boundary/drain/stall conditions
+        // only change during core ticks, so recomputing here — after
+        // the core loop — is exact).
+        if let Some(inj) = &self.injector {
+            self.wheel.schedule(WakeSource::Fault, inj.next_event(now));
+        }
+        if matches!(self.workload, Workload::SingleOsMixed(_)) {
+            let at = self.next_single_os_poll(now);
+            self.wheel.schedule(WakeSource::SingleOsPoll, at);
+        }
         self.cycle = self.fast_forward(now, min_wake);
+    }
+
+    /// The earliest future cycle at which [`System::poll_single_os`]
+    /// could fire a per-syscall mode transition, given current core
+    /// state: a performance-mode pair needs its vocal parked at an
+    /// OS-entry trap with a drained window and any external stall
+    /// expired; a reliable-mode pair needs *both* cores parked at the
+    /// OS exit with drained windows. `Cycle::MAX` when no pair can
+    /// transition without further core activity — and core activity
+    /// already pins the clock through the wake hints.
+    fn next_single_os_poll(&self, now: Cycle) -> Cycle {
+        let pairs = self.cfg.pairs() as usize;
+        let mut earliest = Cycle::MAX;
+        for p in 0..pairs {
+            let vocal = &self.cores[2 * p];
+            let at = if self.pairs[p].is_none() {
+                vocal.boundary_ready_at(Boundary::EnterOs, now)
+            } else {
+                let mute = &self.cores[2 * p + 1];
+                // Both sides must be ready; `max` stays `Cycle::MAX`
+                // until the later of the two is.
+                vocal
+                    .boundary_ready_at(Boundary::ExitOs, now)
+                    .max(mute.boundary_ready_at(Boundary::ExitOs, now))
+            };
+            earliest = earliest.min(at);
+        }
+        earliest
     }
 
     /// The next cycle the machine must actually simulate: `now + 1`,
     /// or later when every core is provably asleep beyond it and no
-    /// scheduler event falls in between. Ticks inside the jumped span
-    /// would run zero cores and service nothing — each core settles
-    /// its skipped-cycle counters itself, so the reports are identical
-    /// either way.
+    /// event-wheel source fires in between. Ticks inside the jumped
+    /// span would run zero cores, service nothing, and dispatch no
+    /// event — each core settles its skipped-cycle counters itself, so
+    /// the reports are identical either way. Every workload mode jumps:
+    /// fault arrivals are pre-drawn events, the single-OS trap poll
+    /// registers the earliest cycle its conditions could hold, and
+    /// timeslice/sample boundaries sit in their wheel slots.
     fn fast_forward(&self, now: Cycle, min_wake: Cycle) -> Cycle {
-        if !self.skip_enabled || min_wake <= now + 1 {
+        if !self.skip_enabled || !self.wheel_enabled || min_wake <= now + 1 {
             return now + 1;
         }
-        // Fault injection and the single-OS trap poll inspect the
-        // machine every cycle; never jump over them.
-        if self.injector.is_some() || matches!(self.workload, Workload::SingleOsMixed(_)) {
-            return now + 1;
-        }
-        // Gang and overcommit scheduling act at timeslice boundaries.
-        let cap = match self.workload {
-            Workload::Consolidated { .. } | Workload::Overcommitted { .. } => self.next_slice,
-            _ => Cycle::MAX,
-        };
-        // The flight recorder's boundary must actually tick so the
-        // sample lands at its exact cycle; the boundary settle makes
-        // the jumped span observable, keeping the series identical
-        // with skipping on or off.
-        min_wake.min(cap).min(self.sample_next).max(now + 1)
+        self.wheel.next_event(now + 1, min_wake)
     }
 
     /// Runs for `cycles` cycles.
@@ -1428,7 +1498,7 @@ impl System {
         // A sample boundary landing exactly on the run end has not
         // ticked; record it now so the series is the same whether the
         // caller keeps running or stops here.
-        if self.cycle >= self.sample_next {
+        if self.cycle >= self.wheel.at(WakeSource::Sample) {
             self.take_sample(self.cycle);
         }
     }
@@ -1466,10 +1536,11 @@ impl System {
         // Restart the flight recorder: samples cover the measured
         // period only, with timestamps relative to its start.
         self.measure_start = self.cycle;
-        if let Some(interval) = self.sampler.interval() {
+        if self.sampler.interval().is_some() {
             let snapshot = self.report(0).metrics();
             self.sampler.rebase(&snapshot);
-            self.sample_next = self.cycle + interval;
+            self.wheel
+                .schedule(WakeSource::Sample, self.sampler.next_boundary(self.cycle));
         }
     }
 

@@ -319,6 +319,23 @@ impl Core {
         self.wake_now();
     }
 
+    /// Wake registration for boundary-driven schedulers: the earliest
+    /// cycle after `now` at which a system-level poll of this core
+    /// could act on `boundary` — trapped on it, window fully drained,
+    /// and any external stall expired. [`Cycle::MAX`] while the trio
+    /// does not hold: the trap and the drain only change inside
+    /// [`Core::tick`], so until this core next runs there is nothing
+    /// for the poller to see (only the stall expires by the passage of
+    /// time, which is why it lands in the returned cycle rather than
+    /// in a flag).
+    pub fn boundary_ready_at(&self, boundary: Boundary, now: Cycle) -> Cycle {
+        if self.pending_boundary == Some(boundary) && self.window.is_empty() {
+            (now + 1).max(self.external_stall_until)
+        } else {
+            Cycle::MAX
+        }
+    }
+
     /// Whether the window has fully drained.
     pub fn window_empty(&self) -> bool {
         self.window.is_empty()

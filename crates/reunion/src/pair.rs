@@ -105,6 +105,18 @@ impl DmrPair {
         ctx
     }
 
+    /// Whether the channel has queued heals or mismatches for
+    /// [`DmrPair::service`] — the pair's service deadline, as seen by
+    /// the system's event wheel. Channel work is only ever queued by
+    /// core activity (gate publishes and releases during
+    /// `Core::tick`), so a pair whose cores are asleep can be skipped
+    /// over without polling this: the flag cannot rise while no core
+    /// runs, and a due service always lands on the same cycle as the
+    /// core activity that queued it.
+    pub fn needs_service(&self) -> bool {
+        self.dirty.get()
+    }
+
     /// Services pending recoveries: invalidates the mute's stale lines
     /// so re-execution refetches coherent data. Call once per
     /// simulation cycle (cheap when idle).

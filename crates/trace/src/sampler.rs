@@ -197,6 +197,17 @@ impl Sampler {
         self.inner.as_ref().map(|c| c.borrow().interval)
     }
 
+    /// The sample boundary following `now`, as registered with the
+    /// system's event wheel: one cadence past `now` when sampling is
+    /// on, [`Cycle::MAX`] when off (the parked-slot sentinel — a
+    /// disabled sampler never pins the clock).
+    pub fn next_boundary(&self, now: Cycle) -> Cycle {
+        match self.interval() {
+            Some(interval) => now + interval,
+            None => Cycle::MAX,
+        }
+    }
+
     /// Discards any recorded samples and re-bases deltas on `current`
     /// (the cumulative registry right now). Called when measurement
     /// (re)starts so warmup movement never leaks into the series.

@@ -66,9 +66,7 @@ def validate(path: str) -> None:
         for w in walls
     ):
         fail(f"{path}: rep_wall_seconds entries must be finite and non-negative")
-    if obj["wall_seconds"] > 0.0 and float(obj["wall_seconds"]) != min(
-        float(w) for w in walls
-    ):
+    if float(obj["wall_seconds"]) != min(float(w) for w in walls):
         fail(f"{path}: wall_seconds must be the fastest repetition")
     ts = float(obj["timestamp"])
     if not math.isfinite(ts) or ts < 0.0:

@@ -1,0 +1,164 @@
+//! The event wheel is a pure throughput knob: jumping the clock to
+//! the next scheduled wake source — including fault arrivals and
+//! single-OS trap polls, which the pre-wheel fast-forward could not
+//! skip over — must leave every report and every recorded metrics
+//! series bit-identical, across the `MMM_EVENT_WHEEL` escape hatch
+//! and the experiment driver's worker-thread count.
+
+use mixed_mode_multicore::mmm::{Experiment, MixedPolicy, Workload};
+use mixed_mode_multicore::prelude::*;
+
+fn canonical_json(mut r: mixed_mode_multicore::mmm::SystemReport) -> String {
+    r.wall_seconds = 0.0;
+    r.to_json()
+}
+
+/// All comparisons live in one test function: the escape hatch is a
+/// process-global environment variable, and concurrently running test
+/// threads must not observe it mid-flight.
+#[test]
+fn event_wheel_is_a_pure_throughput_knob_under_injection() {
+    let mut e = Experiment::default();
+    e.cfg.virt.timeslice_cycles = 120_000;
+    e.warmup = 20_000;
+    e.measure = 150_000;
+    e.seeds = vec![7];
+    // Fault injection plus the flight recorder: the two subsystems the
+    // wheel newly has to coordinate with (arrival events, interval
+    // boundaries).
+    e.fault_rate = Some(1e-5);
+    e.sample_interval = Some(25_000);
+    let modes = [
+        Workload::ReunionDmr(Benchmark::Apache),
+        Workload::Consolidated {
+            bench: Benchmark::Apache,
+            policy: MixedPolicy::MmmTp,
+        },
+        Workload::SingleOsMixed(Benchmark::Apache),
+    ];
+
+    // Baseline: wheel enabled (the default).
+    assert!(
+        std::env::var_os("MMM_EVENT_WHEEL").is_none(),
+        "test requires a clean environment"
+    );
+    let baseline: Vec<(String, _)> = modes
+        .iter()
+        .map(|&w| {
+            let mut r = e.run_one(w, 7).unwrap();
+            let series = r.series.take().expect("sampler attached");
+            (canonical_json(r), series)
+        })
+        .collect();
+
+    // Skip machinery fully off: same reports, same series (the wheel
+    // only ever picks the *next* cycle to simulate; simulated cycles
+    // are identical).
+    let mut noskip = e.clone();
+    noskip.cycle_skipping = false;
+    for (&w, (json, series)) in modes.iter().zip(&baseline) {
+        let mut r = noskip.run_one(w, 7).unwrap();
+        assert_eq!(
+            r.series.take().as_ref(),
+            Some(series),
+            "{}: series must be skip-invariant",
+            w.name()
+        );
+        assert_eq!(
+            &canonical_json(r),
+            json,
+            "{}: skip-off must not change the report",
+            w.name()
+        );
+    }
+
+    // Escape hatch: wheel disabled by env, per-core skipping still on.
+    std::env::set_var("MMM_EVENT_WHEEL", "off");
+    for (&w, (json, series)) in modes.iter().zip(&baseline) {
+        let mut r = e.run_one(w, 7).unwrap();
+        assert_eq!(
+            r.series.take().as_ref(),
+            Some(series),
+            "{}: series must be wheel-invariant",
+            w.name()
+        );
+        assert_eq!(
+            &canonical_json(r),
+            json,
+            "{}: MMM_EVENT_WHEEL=off must not change the report",
+            w.name()
+        );
+    }
+    // And through the work-queue at several pool sizes.
+    for threads in [1, 4] {
+        let many = e.run_many_on(&modes, threads).unwrap();
+        for (run, (json, series)) in many.iter().zip(&baseline) {
+            let mut r = run.reports[0].clone();
+            assert_eq!(r.series.take().as_ref(), Some(series));
+            assert_eq!(
+                &canonical_json(r),
+                json,
+                "wheel-off reports must not depend on thread count ({threads})"
+            );
+        }
+    }
+    std::env::remove_var("MMM_EVENT_WHEEL");
+
+    // Back on: still the baseline (the hatch leaves no residue).
+    let mut r = e.run_one(modes[0], 7).unwrap();
+    r.series.take();
+    assert_eq!(canonical_json(r), baseline[0].0);
+}
+
+/// Pre-drawn geometric inter-arrival times are the same random
+/// process as the per-cycle Bernoulli trials they replaced (the
+/// geometric distribution *is* the gap distribution of a Bernoulli
+/// stream). The two models draw different per-seed sequences, so the
+/// equivalence is statistical: campaign totals must agree with each
+/// other and with the analytic expectation within sampling noise.
+#[test]
+fn geometric_arrivals_match_bernoulli_statistics() {
+    use mixed_mode_multicore::mmm::{ArrivalModel, System};
+
+    let cfg = SystemConfig::default();
+    let w = Workload::ReunionDmr(Benchmark::Oltp);
+    let (warmup, measure) = (20_000u64, 400_000u64);
+    let rate = 1e-4;
+
+    let campaign = |model: ArrivalModel| -> (u64, u64) {
+        let mut injected = 0;
+        let mut detected = 0;
+        for seed in [1, 2, 3] {
+            let mut sys = System::new(&cfg, w, seed).unwrap();
+            sys.set_cycle_skipping(true);
+            sys.enable_fault_injection_with(rate, seed ^ 0xF417, model);
+            let r = sys.run_measured(warmup, measure);
+            injected += r.faults.injected;
+            detected += r.faults.detected_by_dmr;
+        }
+        (injected, detected)
+    };
+
+    let (geo_inj, geo_det) = campaign(ArrivalModel::Geometric);
+    let (ber_inj, ber_det) = campaign(ArrivalModel::Bernoulli);
+
+    // ~1920 expected arrivals per campaign: sqrt-noise is ~2.3%, so a
+    // 15% gate is far outside chance but catches any systematic skew
+    // (off-by-one-cycle rates, double-draws, missed redraws).
+    let expected = rate * cfg.cores as f64 * measure as f64 * 3.0;
+    let within = |got: u64, want: f64, what: &str| {
+        let rel = (got as f64 - want).abs() / want;
+        assert!(
+            rel < 0.15,
+            "{what}: {got} vs expected {want:.0} ({:.1}% off)",
+            rel * 100.0
+        );
+    };
+    within(geo_inj, expected, "geometric injected");
+    within(ber_inj, expected, "bernoulli injected");
+    within(geo_inj, ber_inj as f64, "geometric vs bernoulli injected");
+    // Every core is half of a busy DMR pair in this workload, so
+    // detection tracks injection for both models.
+    within(geo_det, geo_inj as f64, "geometric detected");
+    within(ber_det, ber_inj as f64, "bernoulli detected");
+}
