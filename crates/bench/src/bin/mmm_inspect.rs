@@ -9,7 +9,16 @@
 //! ```text
 //! mmm-inspect A.json B.json [--threshold 0.15] [--only SUBSTR]...
 //!             [--direction both|down|up] [--json] [--force]
+//! mmm-inspect profile A.json B.json [--threshold 5] [--json] [--force]
 //! ```
+//!
+//! The `profile` mode diffs the self-profiler's phase shares between
+//! two profiled exports (`BENCH_*.json` files carrying a `profile`
+//! section, written under `MMM_PROFILE=1`). Shares are percentages of
+//! the measured window, so the threshold is in percentage *points*
+//! (default 5): a phase whose share moves from 30% to 37% crosses a
+//! 5-point gate and exits 1, like the perf gate. Wheel introspection
+//! counters (wake hits, skip efficiency) are shown but not gated.
 //!
 //! The two files must be the same kind and describe comparable runs:
 //! the identity block (config, benchmark, scheduler, thread count;
@@ -54,7 +63,8 @@ struct Options {
     a: String,
     /// Candidate export path.
     b: String,
-    /// Relative-change threshold (0.15 = 15%).
+    /// Relative-change threshold (0.15 = 15%); in `profile` mode,
+    /// percentage points of phase share.
     threshold: f64,
     /// Substring filters; empty means "every default metric".
     only: Vec<String>,
@@ -64,10 +74,16 @@ struct Options {
     json: bool,
     /// Compare even when the identity blocks differ.
     force: bool,
+    /// `profile` mode: diff self-profiler phase shares instead of
+    /// simulated metrics.
+    profile: bool,
+    /// Whether `--threshold` appeared (the profile-mode default
+    /// differs from the metric-mode default).
+    threshold_set: bool,
 }
 
 fn usage() -> String {
-    "usage: mmm-inspect <A> <B> [--threshold F] [--only SUBSTR]... \
+    "usage: mmm-inspect [profile] <A> <B> [--threshold F] [--only SUBSTR]... \
      [--direction both|down|up] [--json] [--force]"
         .to_string()
 }
@@ -82,6 +98,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         direction: Direction::Both,
         json: false,
         force: false,
+        profile: false,
+        threshold_set: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -95,6 +113,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok()
                     .filter(|t| t.is_finite() && *t >= 0.0)
                     .ok_or_else(|| format!("bad threshold {v:?}"))?;
+                opts.threshold_set = true;
             }
             "--only" => {
                 let v = it
@@ -119,6 +138,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}\n{}", usage()))
             }
+            "profile" if paths.is_empty() && !opts.profile => opts.profile = true,
             other => paths.push(other.to_string()),
         }
     }
@@ -127,6 +147,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     opts.a = paths.remove(0);
     opts.b = paths.remove(0);
+    if opts.profile && !opts.threshold_set {
+        // Phase shares are percentages; gate on points, not ratios.
+        opts.threshold = 5.0;
+    }
     Ok(opts)
 }
 
@@ -139,6 +163,8 @@ enum Kind {
     Bench,
     /// A sampled metrics time-series (`results/<bin>.metrics.jsonl`).
     Series,
+    /// Self-profiler phase shares (`profile` mode).
+    Profile,
 }
 
 impl Kind {
@@ -147,6 +173,7 @@ impl Kind {
             Kind::Report => "report",
             Kind::Bench => "bench",
             Kind::Series => "metrics-series",
+            Kind::Profile => "profile",
         }
     }
 }
@@ -180,6 +207,8 @@ fn load(path: &str) -> Result<RunFile, String> {
         Kind::Bench => bench_file(path, &lines),
         Kind::Report => report_file(path, &lines),
         Kind::Series => series_file(path, &lines),
+        // `profile` mode bypasses `load` entirely (see `load_profile`).
+        Kind::Profile => unreachable!("detection never yields Profile"),
     }
 }
 
@@ -318,6 +347,150 @@ fn series_file(path: &str, lines: &[Json]) -> Result<RunFile, String> {
         identity,
         metrics,
     })
+}
+
+/// Loads the self-profiler section of an export for `profile` mode:
+/// either a `BENCH_*.json` baseline carrying a `profile` key (written
+/// under `MMM_PROFILE=1`) or a bare profile object with
+/// `phase_shares`. Phase shares become the gated metrics; wheel
+/// introspection numbers ride along for display, prefixed `wheel.` so
+/// the default comparison can leave them ungated.
+fn load_profile(path: &str) -> Result<RunFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let first = text
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| format!("{path}: empty file"))?;
+    let line = Json::parse(first).map_err(|e| format!("{path}: {e}"))?;
+    let (identity, profile) = if let Some(p) = line.get("profile") {
+        let identity = [
+            "bench",
+            "config",
+            "benchmark",
+            "warmup_cycles",
+            "measured_cycles",
+        ]
+        .iter()
+        .map(|k| (k.to_string(), ident_str(line.get(k))))
+        .collect();
+        (identity, p)
+    } else if line.get("phase_shares").is_some() {
+        (Vec::new(), &line)
+    } else {
+        return Err(format!(
+            "{path}: no `profile` section (run the bench under MMM_PROFILE=1)"
+        ));
+    };
+    let mut metrics = BTreeMap::new();
+    for (name, v) in profile
+        .get("phase_shares")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| format!("{path}: profile has no phase_shares object"))?
+    {
+        if let Some(n) = v.as_f64() {
+            metrics.insert(name.clone(), n);
+        }
+    }
+    if let Some(wheel) = profile.get("wheel") {
+        for key in [
+            "skip_efficiency",
+            "ticks",
+            "advanced_cycles",
+            "skipped_cycles",
+        ] {
+            if let Some(n) = wheel.get(key).and_then(Json::as_f64) {
+                metrics.insert(format!("wheel.{key}"), n);
+            }
+        }
+        for (name, v) in wheel.get("wake_hits").and_then(Json::as_obj).unwrap_or(&[]) {
+            if let Some(n) = v.as_f64() {
+                metrics.insert(format!("wheel.wake_hits.{name}"), n);
+            }
+        }
+    }
+    Ok(RunFile {
+        kind: Kind::Profile,
+        identity,
+        metrics,
+    })
+}
+
+/// Compares two profiles: phase shares are gated on their *point*
+/// delta (shares are percentages of the measured window, so relative
+/// changes of tiny phases would be pure noise); `wheel.*`
+/// introspection rows are shown but never gated.
+fn compare_profiles(a: &RunFile, b: &RunFile, opts: &Options) -> Vec<Row> {
+    let mut names: Vec<&String> = a.metrics.keys().chain(b.metrics.keys()).collect();
+    names.sort();
+    names.dedup();
+    let mut rows = Vec::new();
+    for name in names {
+        if !opts.only.is_empty() && !opts.only.iter().any(|s| name.contains(s.as_str())) {
+            continue;
+        }
+        let va = a.metrics.get(name).copied().unwrap_or(0.0);
+        let vb = b.metrics.get(name).copied().unwrap_or(0.0);
+        if va == 0.0 && vb == 0.0 {
+            continue;
+        }
+        let delta = vb - va;
+        let gated = !name.starts_with("wheel.");
+        let fail = gated
+            && match opts.direction {
+                Direction::Both => delta.abs() > opts.threshold,
+                Direction::Down => delta < -opts.threshold,
+                Direction::Up => delta > opts.threshold,
+            };
+        rows.push(Row {
+            name: name.clone(),
+            a: va,
+            b: vb,
+            rel: delta,
+            fail,
+        });
+    }
+    rows
+}
+
+/// Human-readable verdict for `profile` mode: deltas are percentage
+/// points of phase share, not relative changes.
+fn print_profile_human(rows: &[Row], opts: &Options) {
+    let to_cells = |r: &Row| {
+        vec![
+            r.name.clone(),
+            format!("{:.2}", r.a),
+            format!("{:.2}", r.b),
+            format!("{:+.2}", r.rel),
+            if r.fail { "FAIL" } else { "ok" }.to_string(),
+        ]
+    };
+    let failed: Vec<&Row> = rows.iter().filter(|r| r.fail).collect();
+    if !failed.is_empty() {
+        print_table(
+            &format!(
+                "Phase shares over threshold ({:.1} points, direction {})",
+                opts.threshold,
+                direction_name(opts.direction)
+            ),
+            &["phase", "A", "B", "delta", "gate"],
+            &failed.iter().map(|r| to_cells(r)).collect::<Vec<_>>(),
+        );
+    }
+    let rest: Vec<&Row> = rows.iter().filter(|r| !r.fail).collect();
+    if !rest.is_empty() {
+        print_table(
+            "Phase shares and wheel introspection (within threshold)",
+            &["metric", "A", "B", "delta", "gate"],
+            &rest.iter().map(|r| to_cells(r)).collect::<Vec<_>>(),
+        );
+    }
+    println!(
+        "\nmmm-inspect: {} vs {} (profile): {} metrics compared, {} over threshold",
+        opts.a,
+        opts.b,
+        rows.len(),
+        failed.len()
+    );
 }
 
 /// Host-dependent metrics are noise, not regressions; they only enter
@@ -489,8 +662,11 @@ fn print_json(rows: &[Row], opts: &Options, kind: Kind) {
 }
 
 fn run(opts: &Options) -> Result<bool, String> {
-    let a = load(&opts.a)?;
-    let b = load(&opts.b)?;
+    let (a, b) = if opts.profile {
+        (load_profile(&opts.a)?, load_profile(&opts.b)?)
+    } else {
+        (load(&opts.a)?, load(&opts.b)?)
+    };
     if a.kind != b.kind {
         return Err(format!(
             "{} is a {} export but {} is a {} export",
@@ -518,9 +694,15 @@ fn run(opts: &Options) -> Result<bool, String> {
         }
         eprintln!("mmm-inspect: {msg}\nmmm-inspect: --force given, comparing anyway");
     }
-    let rows = compare(&a, &b, opts);
+    let rows = if opts.profile {
+        compare_profiles(&a, &b, opts)
+    } else {
+        compare(&a, &b, opts)
+    };
     if opts.json {
         print_json(&rows, opts, a.kind);
+    } else if opts.profile {
+        print_profile_human(&rows, opts);
     } else {
         print_human(&rows, opts, a.kind);
     }

@@ -47,6 +47,22 @@ fn git_describe() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// `git rev-parse --short HEAD`, or `"unknown"` outside a git
+/// checkout — the commit the baseline was measured at, pinned
+/// separately from `git describe` so provenance survives tag churn.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Seconds since the Unix epoch at invocation. Host state enters the
 /// baseline only here, in the harness — never inside the simulator,
 /// whose outputs stay bit-identical.
@@ -116,7 +132,7 @@ pub fn run_perf_baseline(e: &Experiment, spec: &PerfSpec) -> Result<()> {
         0.0
     };
 
-    let line = Json::obj([
+    let mut fields = vec![
         ("bench", Json::str(spec.name)),
         ("config", Json::str(report.config)),
         ("benchmark", Json::str(report.benchmark)),
@@ -130,10 +146,17 @@ pub fn run_perf_baseline(e: &Experiment, spec: &PerfSpec) -> Result<()> {
             Json::Arr(walls.iter().map(|&w| Json::F64(w)).collect()),
         ),
         ("git_describe", Json::str(git_describe())),
+        ("git_commit", Json::str(git_commit())),
         ("timestamp", Json::U64(unix_timestamp())),
         ("host", Json::str(host_name())),
-    ])
-    .render();
+    ];
+    // Profiled runs (`MMM_PROFILE=1`) carry phase-level host-cost
+    // attribution: embed it (fastest rep's profile) and drop a
+    // speedscope file next to the baseline.
+    if let Some(profile) = &report.profile {
+        fields.push(("profile", profile.to_json()));
+    }
+    let line = Json::obj(fields).render();
 
     println!("{line}");
     let out = format!(
@@ -143,6 +166,22 @@ pub fn run_perf_baseline(e: &Experiment, spec: &PerfSpec) -> Result<()> {
     );
     if let Err(err) = std::fs::write(&out, format!("{line}\n")) {
         eprintln!("perf_{}: could not write {out}: {err}", spec.name);
+    }
+    if let Some(profile) = &report.profile {
+        let scope = format!(
+            "{}/../../BENCH_{}.speedscope.json",
+            env!("CARGO_MANIFEST_DIR"),
+            spec.name
+        );
+        let body = profile.to_speedscope(&format!("perf_{}", spec.name));
+        match std::fs::write(&scope, format!("{body}\n")) {
+            Ok(()) => eprintln!(
+                "perf_{}: profile -> BENCH_{}.speedscope.json \
+                 (open at https://www.speedscope.app)",
+                spec.name, spec.name
+            ),
+            Err(err) => eprintln!("perf_{}: could not write {scope}: {err}", spec.name),
+        }
     }
     eprintln!(
         "perf_{}: {:.0} simulated cycles/sec ({:.2}s wall) -> BENCH_{}.json",

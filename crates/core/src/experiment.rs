@@ -19,10 +19,13 @@
 //! * `MMM_SAMPLE_INTERVAL` — flight-recorder sampling interval in
 //!   simulated cycles (default: off). Sampling never changes
 //!   simulated timing or reported metrics.
+//! * `MMM_PROFILE` — self-profiler switch (default: off; any value
+//!   but `0` or empty enables). Attributes host wall-time to hot-loop
+//!   phases; never changes simulated timing or reported metrics.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use mmm_trace::Sampler;
+use mmm_trace::{Profiler, Sampler};
 use mmm_types::stats::mean_ci95;
 use mmm_types::{Result, SystemConfig};
 
@@ -63,6 +66,11 @@ pub struct Experiment {
     /// Cycle fast-forwarding (default on). The determinism suite
     /// turns it off to prove results are skip-invariant.
     pub cycle_skipping: bool,
+    /// Self-profiler switch (`MMM_PROFILE`; default off). When set,
+    /// each run carries a [`SystemReport::profile`] with phase-level
+    /// host-cost attribution. Profiling never changes simulated
+    /// timing or reported metrics.
+    pub profile: bool,
 }
 
 impl Default for Experiment {
@@ -75,6 +83,7 @@ impl Default for Experiment {
             fault_rate: None,
             sample_interval: None,
             cycle_skipping: true,
+            profile: false,
         }
     }
 }
@@ -99,6 +108,9 @@ impl Experiment {
             .ok()
             .and_then(|v| v.parse().ok())
             .filter(|&n: &u64| n > 0);
+        e.profile = std::env::var("MMM_PROFILE")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
         e
     }
 
@@ -110,6 +122,9 @@ impl Experiment {
         }
         if let Some(interval) = self.sample_interval {
             sys.attach_sampler(Sampler::every(interval));
+        }
+        if self.profile {
+            sys.attach_profiler(Profiler::enabled());
         }
         sys.set_cycle_skipping(self.cycle_skipping);
         Ok(sys.run_measured(self.warmup, self.measure))

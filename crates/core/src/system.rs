@@ -16,7 +16,8 @@ use mmm_mem::request::store_token;
 use mmm_mem::{MemStats, MemorySystem};
 use mmm_reunion::{DmrPair, PairStats};
 use mmm_trace::{
-    Event, Json, MetricsRegistry, MetricsSeries, Sampler, SchedAction, Tracer, TransitionKind,
+    Event, Json, MetricsRegistry, MetricsSeries, ProfPhase, ProfileReport, Profiler, Sampler,
+    SchedAction, Tracer, TransitionKind,
 };
 use mmm_types::ids::{PAGE_BYTES, PAGE_SHIFT};
 use mmm_types::{CoreId, Cycle, PageAddr, Result, SystemConfig, VcpuId, VmId};
@@ -98,6 +99,13 @@ pub struct SystemReport {
     /// [`SystemReport::to_json`] so golden reports stay bit-identical
     /// with sampling on or off; exported separately as JSONL.
     pub series: Option<MetricsSeries>,
+    /// Self-profiler host-cost attribution over the measured period
+    /// (`None` unless a profiler was attached). Host-dependent, like
+    /// `wall_seconds`: deliberately excluded from
+    /// [`SystemReport::to_json`] so golden reports stay bit-identical
+    /// with profiling on or off; exported separately via the bench
+    /// harness.
+    pub profile: Option<ProfileReport>,
 }
 
 impl SystemReport {
@@ -398,6 +406,9 @@ pub struct System {
     /// Flight-recorder sampler (off by default; see
     /// [`System::attach_sampler`]).
     sampler: Sampler,
+    /// Self-profiler (off by default; see [`System::attach_profiler`]).
+    /// Clones are distributed to every component that hosts a probe.
+    profiler: Profiler,
     /// The registry of future system-level wake sources: the timeslice
     /// boundary, the sampler boundary, the next fault arrival, and the
     /// single-OS trap poll. Sources that cannot act stay parked at
@@ -498,6 +509,7 @@ impl System {
             fault_token_seq: 1 << 61,
             tracer: Tracer::off(),
             sampler: Sampler::off(),
+            profiler: Profiler::off(),
             wheel,
             measure_start: 0,
             skip_enabled: true,
@@ -615,6 +627,35 @@ impl System {
         &self.sampler
     }
 
+    /// Attaches a self-profiler: clones of the handle are distributed
+    /// to every core, every parked and installed context's op source,
+    /// every live DMR pair, and the memory system, so host wall-time
+    /// spent in each hot-loop phase is attributed exclusively.
+    /// Profiling is purely observational — it reads only the host
+    /// clock and never touches simulated state, so reports and
+    /// sampled series are bit-identical with it on or off.
+    pub fn attach_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
+        for c in &mut self.cores {
+            c.set_profiler(self.profiler.clone());
+        }
+        for v in &mut self.vcpus {
+            if let Some(ctx) = v.parked_ctx.as_mut() {
+                ctx.set_profiler(self.profiler.clone());
+            }
+        }
+        for pair in self.pairs.iter_mut().flatten() {
+            pair.set_profiler(self.profiler.clone());
+        }
+        self.mem.set_profiler(self.profiler.clone());
+    }
+
+    /// The attached profiler (off unless [`System::attach_profiler`]
+    /// was called).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
     /// Enables or disables cycle fast-forwarding (on by default).
     /// Disabling it forces the simulator to tick every cycle; reports
     /// and sampled series are identical either way, which the
@@ -629,6 +670,7 @@ impl System {
     /// records the registry delta at a timestamp relative to the
     /// start of the measured period.
     fn take_sample(&mut self, now: Cycle) {
+        let _prof = self.profiler.enter(ProfPhase::Sampler);
         for c in &mut self.cores {
             c.settle_to(now);
         }
@@ -714,6 +756,7 @@ impl System {
         mute.set_store_filter(Filter::None);
         let mut pair = DmrPair::couple(vocal, mute, ctx, &self.cfg.reunion);
         pair.set_tracer(self.tracer.clone());
+        pair.set_profiler(self.profiler.clone());
         vocal.stall_until(ready_at);
         mute.stall_until(ready_at);
         self.pairs[slot] = Some(pair);
@@ -1368,27 +1411,37 @@ impl System {
     pub fn tick(&mut self) {
         let now = self.cycle;
         if now >= self.wheel.at(WakeSource::Sample) {
+            self.profiler.wake_hit(WakeSource::Sample as usize);
             // Reschedules its own slot.
             self.take_sample(now);
         }
         if now >= self.wheel.at(WakeSource::Slice) {
+            self.profiler.wake_hit(WakeSource::Slice as usize);
             let next = self.wheel.at(WakeSource::Slice) + self.cfg.virt.timeslice_cycles;
-            if let Some(policy) = self.workload.gang_policy() {
-                self.gang_switch(policy, now);
-            } else {
-                self.overcommit_switch(now);
+            {
+                let _prof = self.profiler.enter(ProfPhase::Sched);
+                if let Some(policy) = self.workload.gang_policy() {
+                    self.gang_switch(policy, now);
+                } else {
+                    self.overcommit_switch(now);
+                }
             }
             self.wheel.schedule(WakeSource::Slice, next);
         }
         if now >= self.wheel.at(WakeSource::SingleOsPoll) {
+            self.profiler.wake_hit(WakeSource::SingleOsPoll as usize);
+            let _prof = self.profiler.enter(ProfPhase::Sched);
             self.poll_single_os(now);
         }
         if let Some(inj) = self.injector.as_mut() {
             if let Some((core, site)) = inj.poll(now) {
+                self.profiler.wake_hit(WakeSource::Fault as usize);
+                let _prof = self.profiler.enter(ProfPhase::Sched);
                 self.apply_fault(core, site, now);
             }
         }
         let mut min_wake = Cycle::MAX;
+        let mut awake: u64 = 0;
         for c in &mut self.cores {
             // Cores that proved themselves blocked (or idle) until a
             // future cycle are skipped entirely; they settle their
@@ -1398,9 +1451,11 @@ impl System {
                 min_wake = min_wake.min(hint);
                 continue;
             }
+            awake += 1;
             c.tick(now, &mut self.mem);
             min_wake = min_wake.min(c.wake_hint());
         }
+        self.profiler.occupancy(awake);
         for (slot, pair) in self.pairs.iter().enumerate() {
             let Some(pair) = pair else { continue };
             // The dirty flag only rises during core ticks, so a clean
@@ -1427,14 +1482,22 @@ impl System {
         // the single-OS trap poll (its boundary/drain/stall conditions
         // only change during core ticks, so recomputing here — after
         // the core loop — is exact).
-        if let Some(inj) = &self.injector {
-            self.wheel.schedule(WakeSource::Fault, inj.next_event(now));
+        {
+            let _prof = self.profiler.enter(ProfPhase::Wheel);
+            if let Some(inj) = &self.injector {
+                self.wheel.schedule(WakeSource::Fault, inj.next_event(now));
+            }
+            if matches!(self.workload, Workload::SingleOsMixed(_)) {
+                let at = self.next_single_os_poll(now);
+                self.wheel.schedule(WakeSource::SingleOsPoll, at);
+            }
         }
-        if matches!(self.workload, Workload::SingleOsMixed(_)) {
-            let at = self.next_single_os_poll(now);
-            self.wheel.schedule(WakeSource::SingleOsPoll, at);
-        }
-        self.cycle = self.fast_forward(now, min_wake);
+        let next = {
+            let _prof = self.profiler.enter(ProfPhase::FastForward);
+            self.fast_forward(now, min_wake)
+        };
+        self.profiler.advance(next - now);
+        self.cycle = next;
     }
 
     /// The earliest future cycle at which [`System::poll_single_os`]
@@ -1549,12 +1612,17 @@ impl System {
     pub fn run_measured(&mut self, warmup: u64, measure: u64) -> SystemReport {
         self.run(warmup);
         self.reset_measurement();
+        // Open the profiler window after the warm-up reset so phase
+        // shares cover exactly the measured period.
+        self.profiler.begin();
         let started = std::time::Instant::now();
         self.run(measure);
         let wall = started.elapsed().as_secs_f64();
+        self.profiler.end();
         let mut report = self.report(measure);
         report.wall_seconds = wall;
         report.series = self.sampler.series();
+        report.profile = self.profiler.report();
         report
     }
 
@@ -1626,6 +1694,7 @@ impl System {
             wall_seconds: 0.0,
             fault_telemetry: self.injector.as_ref().map(|i| i.telemetry.clone()),
             series: None,
+            profile: None,
         }
     }
 

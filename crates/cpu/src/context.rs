@@ -213,6 +213,13 @@ impl ExecContext {
         }
     }
 
+    /// Installs a self-profiler handle on the shared op source, so
+    /// generation cost is attributed no matter which fork side
+    /// triggers it. Purely observational.
+    pub fn set_profiler(&mut self, profiler: mmm_trace::Profiler) {
+        self.stream.borrow_mut().source.set_profiler(profiler);
+    }
+
     /// The VCPU this context belongs to.
     pub fn vcpu(&self) -> VcpuId {
         self.vcpu

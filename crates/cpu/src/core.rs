@@ -22,7 +22,7 @@
 
 use mmm_mem::request::store_token;
 use mmm_mem::{MemorySystem, Source};
-use mmm_trace::{Event, Tracer};
+use mmm_trace::{Event, ProfPhase, Profiler, Tracer};
 use mmm_types::config::{Consistency, SystemConfig};
 use mmm_types::fastmap::FastMap;
 use mmm_types::{CoreId, Cycle, LineAddr, VcpuId};
@@ -148,6 +148,7 @@ pub struct Core {
     tlb: Tlb,
     stats: CoreStats,
     tracer: Tracer,
+    profiler: Profiler,
 }
 
 impl Core {
@@ -195,6 +196,7 @@ impl Core {
             tlb: Tlb::new(cfg.core.tlb_entries, cfg.core.tlb_fill_latency),
             stats: CoreStats::new(),
             tracer: Tracer::off(),
+            profiler: Profiler::off(),
         }
     }
 
@@ -202,6 +204,17 @@ impl Core {
     /// costs one branch per emission site and never constructs events.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Installs a self-profiler handle and forwards it to the
+    /// installed context's op source, so host time inside `tick`
+    /// lands in [`ProfPhase::Core`] (with nested memory and op-gen
+    /// work subtracting automatically).
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        if let Some(ctx) = self.context.as_mut() {
+            ctx.set_profiler(profiler.clone());
+        }
+        self.profiler = profiler;
     }
 
     /// This core's identifier.
@@ -486,6 +499,7 @@ impl Core {
         if now < self.skip_until {
             return;
         }
+        let _prof = self.profiler.enter(ProfPhase::Core);
         if self.skip_active {
             self.settle_skip(now);
         }

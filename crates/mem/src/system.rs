@@ -21,6 +21,7 @@
 //! directory or remote-cache state, fill their private hierarchy with
 //! lines marked `coherent = false`, and keep stores entirely local.
 
+use mmm_trace::{ProfPhase, Profiler};
 use mmm_types::config::SystemConfig;
 use mmm_types::{CoreId, Cycle, LineAddr};
 
@@ -63,6 +64,8 @@ pub struct MemorySystem {
     /// unused when `bank_occupancy_cycles == 0`).
     bank_busy: Vec<Cycle>,
     stats: MemStats,
+    /// Self-profiler handle; one branch per request when off.
+    profiler: Profiler,
 }
 
 impl MemorySystem {
@@ -82,7 +85,14 @@ impl MemorySystem {
             scratch: Vec::new(),
             bank_busy: vec![0; cfg.mem.l3_banks as usize],
             stats: MemStats::new(),
+            profiler: Profiler::off(),
         }
+    }
+
+    /// Installs a self-profiler handle so request handling attributes
+    /// its host cost to [`ProfPhase::Mem`]. Purely observational.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// Applies the optional L3-bank contention model to a request for
@@ -155,6 +165,7 @@ impl MemorySystem {
     /// consumes real bandwidth and cache space but adds no latency to
     /// the demand fetch.
     pub fn ifetch(&mut self, core: CoreId, line: LineAddr, coherent: bool, now: Cycle) -> Access {
+        let _prof = self.profiler.enter(ProfPhase::Mem);
         if coherent {
             // Discard incoherent leftovers (see `load`).
             let stale = |l: Option<&CacheLine>| l.map(|x| !x.coherent).unwrap_or(false);
@@ -222,6 +233,7 @@ impl MemorySystem {
     /// hierarchy holds — possibly stale, which is how input
     /// incoherence enters the pipeline.
     pub fn load(&mut self, core: CoreId, line: LineAddr, coherent: bool, now: Cycle) -> Access {
+        let _prof = self.profiler.enter(ProfPhase::Mem);
         // A coherent request must not consume an incoherent leftover
         // (a copy cached while this core was a mute): discard it and
         // refetch through the protocol.
@@ -398,6 +410,7 @@ impl MemorySystem {
         coherent: bool,
         now: Cycle,
     ) -> Access {
+        let _prof = self.profiler.enter(ProfPhase::Mem);
         if !coherent {
             return self.mute_local_fill(core, line, now);
         }
@@ -507,6 +520,7 @@ impl MemorySystem {
         coherent: bool,
         now: Cycle,
     ) -> Access {
+        let _prof = self.profiler.enter(ProfPhase::Mem);
         if !coherent {
             // Mute store: purely local. The copy diverges from the
             // coherent world, so it must be marked incoherent even if

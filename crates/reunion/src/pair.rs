@@ -18,7 +18,7 @@ use std::rc::Rc;
 
 use mmm_cpu::{Core, ExecContext, Gate, PairGate};
 use mmm_mem::MemorySystem;
-use mmm_trace::{Event, Tracer};
+use mmm_trace::{Event, ProfPhase, Profiler, Tracer};
 use mmm_types::config::ReunionConfig;
 use mmm_types::{CoreId, Cycle};
 
@@ -33,6 +33,8 @@ pub struct DmrPair {
     /// mismatch is queued, cleared by [`DmrPair::service`].
     dirty: Rc<Cell<bool>>,
     tracer: Tracer,
+    /// Self-profiler handle; one branch per service call when off.
+    profiler: Profiler,
 }
 
 impl DmrPair {
@@ -68,6 +70,7 @@ impl DmrPair {
             channel,
             dirty,
             tracer: Tracer::off(),
+            profiler: Profiler::off(),
         }
     }
 
@@ -75,6 +78,12 @@ impl DmrPair {
     /// emitted as [`Event::CheckMismatch`] records.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Installs a self-profiler handle so pair service attributes its
+    /// host cost to [`ProfPhase::Pair`]. Purely observational.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// The vocal core's id.
@@ -129,6 +138,7 @@ impl DmrPair {
         if !self.dirty.get() {
             return Vec::new();
         }
+        let _prof = self.profiler.enter(ProfPhase::Pair);
         self.dirty.set(false);
         let (heals, mismatches) = self.channel.borrow_mut().drain_service();
         for line in heals {

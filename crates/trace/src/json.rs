@@ -449,4 +449,91 @@ mod tests {
         assert!(Json::parse("\"unterminated").is_err());
         assert!(Json::parse("nul").is_err());
     }
+
+    #[test]
+    fn parse_handles_escaped_strings() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\/d\ne\tf\rg\bh\fi""#).expect("escapes"),
+            Json::str("a\"b\\c/d\ne\tf\rg\u{8}h\u{c}i")
+        );
+        // \u escapes decode BMP scalars; raw UTF-8 passes through.
+        assert_eq!(Json::parse(r#""\u00e9A""#).expect("bmp"), Json::str("éA"));
+        assert_eq!(Json::parse("\"é😀\"").expect("raw utf-8"), Json::str("é😀"));
+        // Our writer never emits surrogate pairs, so the parser maps
+        // every surrogate escape — paired or lone — to U+FFFD.
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#).expect("surrogate pair"),
+            Json::str("\u{fffd}\u{fffd}")
+        );
+        assert_eq!(
+            Json::parse(r#""\ud800""#).expect("lone surrogate"),
+            Json::str("\u{fffd}")
+        );
+        // Escapes survive inside object keys and values.
+        let v = Json::parse(r#"{"ke\ny":"va\"lue"}"#).expect("escaped members");
+        assert_eq!(v.get("ke\ny").and_then(Json::as_str), Some("va\"lue"));
+        // Malformed escapes are rejected, not silently dropped.
+        assert!(Json::parse(r#""\q""#).is_err(), "unknown escape");
+        assert!(Json::parse(r#""\u12""#).is_err(), "truncated \\u escape");
+        assert!(Json::parse(r#""\u12zz""#).is_err(), "non-hex \\u escape");
+    }
+
+    #[test]
+    fn parse_handles_nested_containers() {
+        let text = r#"{"a":[[1,[2,[3]]],{"b":{"c":[{"d":null}]}}],"e":{}}"#;
+        let v = Json::parse(text).expect("nested");
+        let a = v.get("a").and_then(Json::as_arr).expect("outer array");
+        let inner = a[0].as_arr().expect("inner array");
+        assert_eq!(inner[0].as_u64(), Some(1));
+        assert_eq!(
+            a[1].get("b")
+                .and_then(|b| b.get("c"))
+                .and_then(Json::as_arr)
+                .and_then(|c| c.first())
+                .and_then(|d| d.get("d")),
+            Some(&Json::Null)
+        );
+        assert_eq!(v.get("e").and_then(Json::as_obj).map(|o| o.len()), Some(0));
+        assert_eq!(Json::parse("[]").expect("empty array"), Json::Arr(vec![]));
+        // Round trip preserves deep structure exactly.
+        assert_eq!(Json::parse(&v.render()).expect("round trip"), v);
+    }
+
+    #[test]
+    fn parse_handles_exponent_numbers() {
+        assert_eq!(Json::parse("1.5e-3").expect("neg exp"), Json::F64(0.0015));
+        assert_eq!(Json::parse("2E+8").expect("upper exp"), Json::F64(2e8));
+        assert_eq!(
+            Json::parse("-1.25e2").expect("signed mantissa"),
+            Json::F64(-125.0)
+        );
+        assert_eq!(Json::parse("0.5e0").expect("zero exp"), Json::F64(0.5));
+        // Integers without fraction or exponent stay integral.
+        assert_eq!(
+            Json::parse("9007199254740993").expect("big int"),
+            Json::U64(9007199254740993)
+        );
+        assert!(Json::parse("1e").is_err(), "exponent needs digits");
+        assert!(Json::parse("1e+").is_err(), "signed exponent needs digits");
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        for text in [
+            "{\"a\":1}}",
+            "[1,2]]",
+            "null null",
+            "42 7",
+            "\"s\"\"t\"",
+            "true,",
+        ] {
+            let err = Json::parse(text).expect_err("trailing garbage rejected");
+            assert!(
+                err.contains("trailing data"),
+                "{text:?}: unexpected error {err:?}"
+            );
+        }
+        // Trailing whitespace alone is fine.
+        assert_eq!(Json::parse("17 \n ").expect("ws"), Json::U64(17));
+    }
 }

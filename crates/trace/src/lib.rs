@@ -15,6 +15,11 @@
 //!   (counter deltas, gauge last-values, histogram deltas),
 //!   exportable as `metrics.jsonl` or Perfetto counter tracks. Off by
 //!   default and free when off.
+//! * **Self-profiler** — a [`Profiler`] of scoped timers attributing
+//!   *host* wall-time to named hot-loop phases ([`ProfPhase`]), plus
+//!   wheel/skip introspection counters, exportable as a `profile`
+//!   JSON section or a speedscope file. Off by default; one branch
+//!   per probe when off, and purely observational when on.
 //! * **Exporters** — a hand-rolled [`json`] serializer (the build is
 //!   offline; no serde) feeding [`chrome_trace`] (Perfetto-viewable
 //!   per-core timelines) and JSONL report lines.
@@ -38,6 +43,7 @@ pub mod chrome;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod sampler;
 pub mod sink;
 
@@ -45,5 +51,6 @@ pub use chrome::{chrome_trace, chrome_trace_with_counters};
 pub use event::{Event, SchedAction, TraceRecord, TransitionKind};
 pub use json::Json;
 pub use metrics::MetricsRegistry;
+pub use profile::{ProfPhase, ProfScope, ProfileReport, Profiler};
 pub use sampler::{MetricsSample, MetricsSeries, Sampler};
 pub use sink::{NullSink, RingSink, TraceSink, Tracer};

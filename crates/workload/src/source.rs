@@ -45,6 +45,15 @@ impl OpSource {
             OpSource::Replay(r) => r.vcpu(),
         }
     }
+
+    /// Installs a self-profiler handle on the live stream. Replay
+    /// sources do no generation work worth attributing, so they
+    /// ignore the handle.
+    pub fn set_profiler(&mut self, profiler: mmm_trace::Profiler) {
+        if let OpSource::Stream(s) = self {
+            s.set_profiler(profiler);
+        }
+    }
 }
 
 impl From<OpStream> for OpSource {

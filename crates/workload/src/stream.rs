@@ -17,6 +17,8 @@ use mmm_types::{DetRng, PhysAddr, VcpuId, VmId};
 
 use crate::layout::AddressLayout;
 use crate::op::{MicroOp, OpClass, Privilege};
+use mmm_trace::{ProfPhase, Profiler};
+
 use crate::profile::{PhaseProfile, WorkloadProfile};
 
 /// Flat spread used for stores into shared regions (appends/logs
@@ -72,6 +74,8 @@ pub struct OpStream {
     generated: u64,
     /// Precomputed samplers: [user, os].
     draws: [PhaseDraws; 2],
+    /// Self-profiler handle; one branch per op when off.
+    profiler: Profiler,
 }
 
 impl OpStream {
@@ -112,7 +116,15 @@ impl OpStream {
             fetch_cursor: 0,
             generated: 0,
             draws,
+            profiler: Profiler::off(),
         }
+    }
+
+    /// Installs a self-profiler handle so op generation attributes
+    /// its host cost to [`mmm_trace::ProfPhase::OpGen`]. Purely
+    /// observational: the generated op sequence is unchanged.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// The VM this stream belongs to.
@@ -149,6 +161,7 @@ impl OpStream {
 
     /// Produces the next micro-op.
     pub fn next_op(&mut self) -> MicroOp {
+        let _prof = self.profiler.enter(ProfPhase::OpGen);
         let mut enters_os = false;
         let mut exits_os = false;
         if self.remaining == 0 {

@@ -7,9 +7,11 @@ Each file must be a single JSON object (one line) with the schema
 written by ``perf_smoke``: identity fields, a positive measured cycle
 count, finite non-negative wall/throughput numbers, a per-rep
 wall-seconds list consistent with the rep count, and run provenance
-(a non-negative Unix ``timestamp`` plus a non-empty ``host`` name). Exits non-zero
-(failing CI) on any malformed file. Uses only the Python standard
-library.
+(a non-negative Unix ``timestamp``, a non-empty ``host`` name, plus
+``git_describe``/``git_commit``). Profiled baselines (``MMM_PROFILE=1``)
+additionally carry a ``profile`` section whose phase shares must sum
+to ~100%. Exits non-zero (failing CI) on any malformed file. Uses only
+the Python standard library.
 """
 
 import json
@@ -27,9 +29,14 @@ REQUIRED = {
     "reps": int,
     "rep_wall_seconds": list,
     "git_describe": str,
+    "git_commit": str,
     "timestamp": (int, float),
     "host": str,
 }
+
+# Keys every embedded ``profile`` section (MMM_PROFILE=1 runs) must
+# carry, written by the self-profiler's ``to_json``.
+PROFILE_REQUIRED = ("total_nanos", "phase_nanos", "phase_shares", "wheel")
 
 
 def fail(msg: str) -> None:
@@ -73,10 +80,58 @@ def validate(path: str) -> None:
         fail(f"{path}: timestamp must be finite and non-negative, got {ts}")
     if not obj["host"].strip():
         fail(f"{path}: host must be a non-empty string")
+    if not obj["git_commit"].strip():
+        fail(f"{path}: git_commit must be a non-empty string")
+    if "profile" in obj:
+        validate_profile(path, obj["profile"])
     print(
         f"validate_bench: OK: {path}: {obj['sim_cycles_per_sec']:.0f} "
         f"cycles/sec over {obj['measured_cycles']} cycles "
         f"({obj['reps']} reps, {obj['git_describe']})"
+    )
+
+
+def validate_profile(path: str, prof: object) -> None:
+    """Validate the optional self-profiler section: phase shares must
+    be finite, non-negative percentages summing to ~100 (or all zero
+    for an empty window), and the wheel introspection block must be
+    present with a sane skip efficiency."""
+    if not isinstance(prof, dict):
+        fail(f"{path}: profile must be an object, got {type(prof).__name__}")
+    for key in PROFILE_REQUIRED:
+        if key not in prof:
+            fail(f"{path}: profile missing key {key!r}")
+    total = prof["total_nanos"]
+    if not isinstance(total, int) or isinstance(total, bool) or total < 0:
+        fail(f"{path}: profile.total_nanos must be a non-negative integer")
+    shares = prof["phase_shares"]
+    if not isinstance(shares, dict) or not shares:
+        fail(f"{path}: profile.phase_shares must be a non-empty object")
+    for name, v in shares.items():
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            fail(f"{path}: profile.phase_shares.{name} has type {type(v).__name__}")
+        if not math.isfinite(float(v)) or float(v) < 0.0:
+            fail(f"{path}: profile.phase_shares.{name} must be finite and >= 0")
+    share_sum = sum(float(v) for v in shares.values())
+    if total > 0 and abs(share_sum - 100.0) > 0.5:
+        fail(f"{path}: profile.phase_shares sum to {share_sum:.3f}, expected ~100")
+    wheel = prof["wheel"]
+    if not isinstance(wheel, dict):
+        fail(f"{path}: profile.wheel must be an object")
+    for key in ("wake_hits", "ticks", "advanced_cycles", "skip_efficiency"):
+        if key not in wheel:
+            fail(f"{path}: profile.wheel missing key {key!r}")
+    eff = wheel["skip_efficiency"]
+    if (
+        not isinstance(eff, (int, float))
+        or isinstance(eff, bool)
+        or not math.isfinite(float(eff))
+        or not 0.0 <= float(eff) <= 1.0
+    ):
+        fail(f"{path}: profile.wheel.skip_efficiency must be in [0, 1], got {eff}")
+    print(
+        f"validate_bench: OK: {path}: profile section "
+        f"({share_sum:.1f}% shares, skip efficiency {float(eff):.3f})"
     )
 
 

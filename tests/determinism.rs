@@ -216,3 +216,86 @@ fn sampled_series_is_invariant_across_skipping_and_threads() {
         }
     }
 }
+
+/// The self-profiler has the same contract as tracing and sampling:
+/// it reads only the host clock, so reports *and* the sampled metrics
+/// series stay bit-identical with the profiler on or off, and across
+/// the experiment driver's worker thread count.
+#[test]
+fn report_and_series_are_invariant_under_profiling() {
+    use mixed_mode_multicore::mmm::Experiment;
+
+    let mut e = Experiment::default();
+    e.cfg.virt.timeslice_cycles = 120_000;
+    e.warmup = 20_000;
+    e.measure = 150_000;
+    e.seeds = vec![5];
+    e.sample_interval = Some(25_000);
+    let modes = [
+        Workload::ReunionDmr(Benchmark::Apache),
+        Workload::Consolidated {
+            bench: Benchmark::Apache,
+            policy: MixedPolicy::MmmTp,
+        },
+        Workload::SingleOsMixed(Benchmark::Apache),
+    ];
+    for w in modes {
+        // Baseline: profiler off.
+        let mut plain = e.run_one(w, 5).unwrap();
+        let series = plain.series.take().expect("sampler attached");
+        assert!(plain.profile.is_none(), "{}: profiler off", w.name());
+        let plain_json = canonical_json(plain);
+
+        // Profiler on: identical report and series, plus a profile
+        // whose phases tile the measured window exactly.
+        let mut ep = e.clone();
+        ep.profile = true;
+        let mut profiled = ep.run_one(w, 5).unwrap();
+        let prof = profiled.profile.take().expect("profiler attached");
+        assert_eq!(
+            profiled.series.take().as_ref(),
+            Some(&series),
+            "{}: profiling must not change the series",
+            w.name()
+        );
+        assert_eq!(
+            canonical_json(profiled),
+            plain_json,
+            "{}: profiling must not change the report",
+            w.name()
+        );
+        let nanos_sum: u64 = prof.phase_nanos.iter().map(|&(_, n)| n).sum();
+        assert_eq!(
+            nanos_sum,
+            prof.total_nanos,
+            "{}: phase shares must sum to 100% of the window",
+            w.name()
+        );
+        assert_eq!(
+            prof.advanced_cycles,
+            e.measure,
+            "{}: the profiler saw every measured cycle",
+            w.name()
+        );
+        assert!(prof.ticks > 0, "{}: executed ticks recorded", w.name());
+
+        // Same profiled job through the work-queue at different pool
+        // sizes: still bit-identical to the unprofiled baseline.
+        for threads in [1, 4] {
+            let run = ep.run_many_on(&[w], threads).unwrap().remove(0);
+            let mut r = run.reports[0].clone();
+            assert_eq!(
+                r.series.take().as_ref(),
+                Some(&series),
+                "{}: series must not depend on thread count ({threads})",
+                w.name()
+            );
+            assert_eq!(
+                canonical_json(r),
+                plain_json,
+                "{}: profiled report must not depend on thread count ({threads})",
+                w.name()
+            );
+        }
+    }
+}

@@ -97,6 +97,45 @@ fn tracing_does_not_change_timing() {
     assert_eq!(run(false), run(true), "tracing altered simulated timing");
 }
 
+/// The self-profiler obeys the same "free when off, observational
+/// when on" discipline as tracing: a profiled run and an unprofiled
+/// run of the same seed produce bit-identical measurements (the
+/// profiler reads only the host clock), and the profiled run carries
+/// a phase attribution that tiles the measured window exactly.
+#[test]
+fn profiling_does_not_change_timing() {
+    use mmm_trace::Profiler;
+
+    let cfg = SystemConfig::default();
+    let w = Workload::Consolidated {
+        bench: Benchmark::Apache,
+        policy: MixedPolicy::MmmTp,
+    };
+    let run = |profiled: bool| {
+        let mut sys = System::new(&cfg, w, 5).unwrap();
+        if profiled {
+            sys.attach_profiler(Profiler::enabled());
+        }
+        let r = sys.run_measured(10_000, 60_000);
+        if profiled {
+            let prof = r.profile.as_ref().expect("profiled run has a profile");
+            let nanos_sum: u64 = prof.phase_nanos.iter().map(|&(_, n)| n).sum();
+            assert_eq!(nanos_sum, prof.total_nanos, "phases tile the window");
+            assert!(prof.total_nanos > 0, "a measured window took host time");
+            assert_eq!(prof.advanced_cycles, 60_000, "every cycle accounted");
+        } else {
+            assert!(r.profile.is_none(), "no profile without a profiler");
+        }
+        (
+            r.total_user_commits(),
+            r.cores.si_stall_cycles,
+            r.mem.c2c_transfers,
+            r.pairs.ops_compared,
+        )
+    };
+    assert_eq!(run(false), run(true), "profiling altered simulated timing");
+}
+
 #[test]
 fn trace_has_the_expected_shape() {
     let got = build_trace();
