@@ -38,6 +38,27 @@ fn bench_opstream() {
     });
 }
 
+/// The table-driven sampler against the `powf` reference path it
+/// replaced, on the OLTP private-footprint shape (the hottest draw in
+/// the workload streams). Both paths produce bit-identical indices;
+/// this measures the per-draw cost difference in isolation.
+fn bench_power_law_sampler() {
+    use mmm_types::sampler::PowerLawSampler;
+    use mmm_types::DetRng;
+
+    let table = PowerLawSampler::new(30_000, 1.35);
+    let mut rng = DetRng::new(1, 0);
+    bench("power_law_table_draw", || {
+        black_box(table.sample(&mut rng));
+    });
+
+    let reference = PowerLawSampler::reference(30_000, 1.35);
+    let mut rng = DetRng::new(1, 0);
+    bench("power_law_powf_draw", || {
+        black_box(reference.sample(&mut rng));
+    });
+}
+
 fn bench_mem_load() {
     let cfg = SystemConfig::default();
     let mut mem = MemorySystem::new(&cfg);
@@ -105,6 +126,7 @@ fn bench_pab_check() {
 fn main() {
     bench_cache();
     bench_opstream();
+    bench_power_law_sampler();
     bench_mem_load();
     bench_core_tick();
     bench_fingerprint_channel();

@@ -1410,69 +1410,82 @@ impl System {
     /// Advances the machine one cycle.
     pub fn tick(&mut self) {
         let now = self.cycle;
-        if now >= self.wheel.at(WakeSource::Sample) {
-            self.profiler.wake_hit(WakeSource::Sample as usize);
-            // Reschedules its own slot.
-            self.take_sample(now);
-        }
-        if now >= self.wheel.at(WakeSource::Slice) {
-            self.profiler.wake_hit(WakeSource::Slice as usize);
-            let next = self.wheel.at(WakeSource::Slice) + self.cfg.virt.timeslice_cycles;
-            {
-                let _prof = self.profiler.enter(ProfPhase::Sched);
-                if let Some(policy) = self.workload.gang_policy() {
-                    self.gang_switch(policy, now);
-                } else {
-                    self.overcommit_switch(now);
-                }
+        {
+            // Wake-slot checks and the fault-arrival poll are wheel
+            // bookkeeping; the handlers they trigger carve out their
+            // own nested phases.
+            let _prof = self.profiler.enter(ProfPhase::Wheel);
+            if now >= self.wheel.at(WakeSource::Sample) {
+                self.profiler.wake_hit(WakeSource::Sample as usize);
+                // Reschedules its own slot.
+                self.take_sample(now);
             }
-            self.wheel.schedule(WakeSource::Slice, next);
-        }
-        if now >= self.wheel.at(WakeSource::SingleOsPoll) {
-            self.profiler.wake_hit(WakeSource::SingleOsPoll as usize);
-            let _prof = self.profiler.enter(ProfPhase::Sched);
-            self.poll_single_os(now);
-        }
-        if let Some(inj) = self.injector.as_mut() {
-            if let Some((core, site)) = inj.poll(now) {
-                self.profiler.wake_hit(WakeSource::Fault as usize);
+            if now >= self.wheel.at(WakeSource::Slice) {
+                self.profiler.wake_hit(WakeSource::Slice as usize);
+                let next = self.wheel.at(WakeSource::Slice) + self.cfg.virt.timeslice_cycles;
+                {
+                    let _prof = self.profiler.enter(ProfPhase::Sched);
+                    if let Some(policy) = self.workload.gang_policy() {
+                        self.gang_switch(policy, now);
+                    } else {
+                        self.overcommit_switch(now);
+                    }
+                }
+                self.wheel.schedule(WakeSource::Slice, next);
+            }
+            if now >= self.wheel.at(WakeSource::SingleOsPoll) {
+                self.profiler.wake_hit(WakeSource::SingleOsPoll as usize);
                 let _prof = self.profiler.enter(ProfPhase::Sched);
-                self.apply_fault(core, site, now);
+                self.poll_single_os(now);
+            }
+            if let Some(inj) = self.injector.as_mut() {
+                if let Some((core, site)) = inj.poll(now) {
+                    self.profiler.wake_hit(WakeSource::Fault as usize);
+                    let _prof = self.profiler.enter(ProfPhase::Sched);
+                    self.apply_fault(core, site, now);
+                }
             }
         }
         let mut min_wake = Cycle::MAX;
         let mut awake: u64 = 0;
-        for c in &mut self.cores {
-            // Cores that proved themselves blocked (or idle) until a
-            // future cycle are skipped entirely; they settle their
-            // skipped-cycle counters when they next run.
-            let hint = c.wake_hint();
-            if now < hint {
-                min_wake = min_wake.min(hint);
-                continue;
+        {
+            // Attribute the scan over cores and pairs — wake-hint
+            // checks, occupancy accounting, service-flag sweeps — to
+            // the core-loop bookkeeping phase; the core/mem/op-gen and
+            // pair-service probes nest inside and subtract themselves.
+            let _prof = self.profiler.enter(ProfPhase::CoreLoop);
+            for c in &mut self.cores {
+                // Cores that proved themselves blocked (or idle) until a
+                // future cycle are skipped entirely; they settle their
+                // skipped-cycle counters when they next run.
+                let hint = c.wake_hint();
+                if now < hint {
+                    min_wake = min_wake.min(hint);
+                    continue;
+                }
+                awake += 1;
+                c.tick(now, &mut self.mem);
+                min_wake = min_wake.min(c.wake_hint());
             }
-            awake += 1;
-            c.tick(now, &mut self.mem);
-            min_wake = min_wake.min(c.wake_hint());
-        }
-        self.profiler.occupancy(awake);
-        for (slot, pair) in self.pairs.iter().enumerate() {
-            let Some(pair) = pair else { continue };
-            // The dirty flag only rises during core ticks, so a clean
-            // pair has nothing queued — skip the channel call.
-            if !pair.needs_service() {
-                continue;
-            }
-            for detected_at in pair.service(&mut self.mem) {
-                // A fingerprint mismatch caused by an injected fault:
-                // attribute the detection back to its injection for
-                // the campaign latency histogram.
-                if let Some((injected_at, site)) = self.dmr_inject_pending[slot].pop_front() {
-                    if let Some(inj) = self.injector.as_mut() {
-                        inj.telemetry
-                            .site_mut(site)
-                            .detection_latency
-                            .record(detected_at.saturating_sub(injected_at));
+            self.profiler.occupancy(awake);
+            for (slot, pair) in self.pairs.iter().enumerate() {
+                let Some(pair) = pair else { continue };
+                // The dirty flag only rises during core ticks, so a clean
+                // pair has nothing queued — skip the channel call.
+                if !pair.needs_service() {
+                    continue;
+                }
+                for detected_at in pair.service(&mut self.mem) {
+                    // A fingerprint mismatch caused by an injected fault:
+                    // attribute the detection back to its injection for
+                    // the campaign latency histogram.
+                    if let Some((injected_at, site)) = self.dmr_inject_pending[slot].pop_front() {
+                        if let Some(inj) = self.injector.as_mut() {
+                            inj.telemetry
+                                .site_mut(site)
+                                .detection_latency
+                                .record(detected_at.saturating_sub(injected_at));
+                        }
                     }
                 }
             }

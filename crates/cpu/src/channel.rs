@@ -13,7 +13,6 @@
 //! for healing (invalidate + refetch).
 
 use std::cell::Cell;
-use std::collections::VecDeque;
 use std::rc::Rc;
 
 use mmm_mem::VersionToken;
@@ -58,14 +57,23 @@ pub struct PairStats {
     pub commit_burst: Log2Histogram,
 }
 
+/// One instruction's comparison record, kept to exactly one cache
+/// line: "has side i published this seq" is not stored here — it is
+/// equivalent to `published[i] >= seq` because sides publish in strict
+/// order (and squash rolls the counters and the records back
+/// together), which also pins the compare to the exact publish that
+/// completes the pair, so no `compared` flag is needed either.
 #[derive(Clone, Copy, Debug, Default)]
 struct OpRecord {
-    exec_done: [Option<Cycle>; 2],
     /// Running per-side maximum of exec_done through this seq.
     prefix_done: [Cycle; 2],
     obs: [Option<(LineAddr, VersionToken)>; 2],
-    compared: bool,
 }
+
+/// Initial record-ring capacity (power of two): the prune window
+/// (1024) plus an instruction window of headroom, so the steady state
+/// never grows.
+const REC_RING_CAP: usize = 2048;
 
 /// The exchange channel shared by the two gates of a DMR pair
 /// (`mmm-reunion`'s `DmrPair`).
@@ -73,7 +81,15 @@ struct OpRecord {
 pub struct PairChannel {
     cfg: ReunionConfig,
     base_seq: u64,
-    records: VecDeque<OpRecord>,
+    /// Record ring: seq `q`'s slot is `records[q & rec_mask]`, holding
+    /// the live span `[base_seq, base_seq + live)`. Slots are never
+    /// cleared — every field of a record is written by the publishes
+    /// that precede any read of it, so stale contents are unreachable.
+    records: Vec<OpRecord>,
+    rec_mask: u64,
+    /// Number of live records (what `records.len()` was when this was
+    /// a `VecDeque`); feeds the occupancy histogram.
+    live: u64,
     /// Highest contiguous published seq per side (`None` until first).
     published: [Option<u64>; 2],
     /// Running prefix max of exec completion per side.
@@ -102,7 +118,9 @@ impl PairChannel {
         Self {
             cfg,
             base_seq,
-            records: VecDeque::new(),
+            records: vec![OpRecord::default(); REC_RING_CAP],
+            rec_mask: REC_RING_CAP as u64 - 1,
+            live: 0,
             published: [None; 2],
             prefix: [0; 2],
             recovery_floor: 0,
@@ -175,7 +193,22 @@ impl PairChannel {
     }
 
     fn rec_index(&self, seq: u64) -> usize {
-        (seq - self.base_seq) as usize
+        (seq & self.rec_mask) as usize
+    }
+
+    /// Doubles the ring, re-placing the live span at its new masked
+    /// positions. Only reached if commits stall for longer than the
+    /// prune window while dispatch keeps publishing.
+    #[cold]
+    fn grow(&mut self) {
+        let new_cap = self.records.len() * 2;
+        let new_mask = new_cap as u64 - 1;
+        let mut new_ring = vec![OpRecord::default(); new_cap];
+        for q in self.base_seq..self.base_seq + self.live {
+            new_ring[(q & new_mask) as usize] = self.records[(q & self.rec_mask) as usize];
+        }
+        self.records = new_ring;
+        self.rec_mask = new_mask;
     }
 
     /// Publishes one dispatched instruction from `side`.
@@ -200,16 +233,21 @@ impl PairChannel {
             assert_eq!(seq, self.base_seq, "first publish must be the base");
         }
         self.published[i] = Some(seq);
-        let idx = self.rec_index(seq);
-        while self.records.len() <= idx {
-            self.records.push_back(OpRecord::default());
+        let rel = seq - self.base_seq;
+        if rel >= self.live {
+            self.live = rel + 1;
+            while self.live > self.records.len() as u64 {
+                self.grow();
+            }
         }
+        let idx = self.rec_index(seq);
         self.prefix[i] = self.prefix[i].max(exec_done);
         let rec = &mut self.records[idx];
-        rec.exec_done[i] = Some(exec_done);
         rec.prefix_done[i] = self.prefix[i];
         rec.obs[i] = obs;
-        if rec.exec_done[0].is_some() && rec.exec_done[1].is_some() && !rec.compared {
+        // This publish completes the pair iff the partner is already
+        // at or past `seq` — the one moment both fingerprints exist.
+        if self.published[i ^ 1] >= Some(seq) {
             self.compare(idx);
         }
     }
@@ -217,8 +255,7 @@ impl PairChannel {
     /// Compares a fully published instruction, raising recovery on
     /// mismatch.
     fn compare(&mut self, idx: usize) {
-        let rec = &mut self.records[idx];
-        rec.compared = true;
+        let rec = &self.records[idx];
         self.stats.ops_compared += 1;
         let vocal_obs = rec.obs[Side::Vocal.idx()];
         let mute_obs = rec.obs[Side::Mute.idx()];
@@ -279,18 +316,27 @@ impl PairChannel {
         Some(release.max(self.recovery_floor))
     }
 
-    /// Largest seq in `[seq, seq + cap]` released at `now`, walking
+    /// Resolves a commit poll in one walk. `Ok(upto)` is the largest
+    /// seq in `[seq, seq + cap]` released at `now`, walking
     /// fingerprint-block by fingerprint-block (every seq in one block
-    /// shares its release time — see [`PairChannel::commit_time`]),
-    /// or `None` when `seq` itself is not released. Agrees with
-    /// `commit_time(s, now) <= now` for every `s` in the returned
-    /// span.
-    pub fn released_through(&mut self, seq: u64, now: Cycle, cap: u64) -> Option<u64> {
+    /// shares its release time — see [`PairChannel::commit_time`]);
+    /// the result agrees with `commit_time(s, now) <= now` for every
+    /// `s` in the span. When `seq` itself is not released, `Err`
+    /// carries exactly `commit_time(seq, now)` — the future release
+    /// bound, or `None` while the partner has not published through
+    /// `seq` — so the gate learns the released span *and* the re-poll
+    /// bound from a single channel borrow.
+    pub fn released_or_next(
+        &mut self,
+        seq: u64,
+        now: Cycle,
+        cap: u64,
+    ) -> Result<u64, Option<Cycle>> {
         let (Some(p0), Some(p1)) = (self.published[0], self.published[1]) else {
-            return None;
+            return Err(None);
         };
         if p0 < seq || p1 < seq || seq < self.base_seq {
-            return None;
+            return Err(None);
         }
         let interval = self.cfg.fingerprint_interval.max(1) as u64;
         let lat = (self.cfg.fingerprint_latency + self.cfg.check_stages) as Cycle;
@@ -304,16 +350,22 @@ impl PairChannel {
             let release =
                 (rec.prefix_done[0].max(rec.prefix_done[1]) + lat).max(self.recovery_floor);
             if release > now {
+                if granted.is_none() {
+                    // First block not released: `release` is exactly
+                    // what `commit_time(seq, now)` would report.
+                    return Err(Some(release));
+                }
                 break;
             }
             granted = Some(upto);
             s = upto + 1;
         }
-        if let Some(upto) = granted {
-            self.stats.occupancy.record(self.records.len() as u64);
-            self.stats.commit_burst.record(upto - seq + 1);
-        }
-        granted
+        // The loop's first iteration always runs (`seq <= p` was just
+        // checked) and either returned early or granted.
+        let upto = granted.expect("first fingerprint block was walked");
+        self.stats.occupancy.record(self.live);
+        self.stats.commit_burst.record(upto - seq + 1);
+        Ok(upto)
     }
 
     /// Extra fetch stall after a serializing instruction commits: the
@@ -328,20 +380,17 @@ impl PairChannel {
     /// gates.
     pub fn prune_below(&mut self, seq: u64) {
         let keep_from = seq.saturating_sub(1024).max(self.base_seq);
-        while self.base_seq < keep_from {
-            if self.records.pop_front().is_none() {
-                break;
-            }
-            self.base_seq += 1;
-        }
+        let advance = (keep_from - self.base_seq).min(self.live);
+        self.base_seq += advance;
+        self.live -= advance;
     }
 
     /// Handles a pipeline squash from one side: both sides of a pair
     /// are always torn down together in this simulator, so the channel
     /// simply forgets everything past `from_seq`.
     pub fn on_squash(&mut self, from_seq: u64) {
-        let keep = (from_seq.saturating_sub(self.base_seq)) as usize;
-        self.records.truncate(keep);
+        let keep = from_seq.saturating_sub(self.base_seq);
+        self.live = self.live.min(keep);
         for i in 0..2 {
             if let Some(p) = self.published[i] {
                 if p >= from_seq {
@@ -450,7 +499,10 @@ mod tests {
         }
         ch.prune_below(3000);
         assert!(ch.commit_time(2999, 10_000).is_some());
-        assert!(ch.records.len() <= 1100);
+        assert!(ch.live <= 1100);
+        // 3000 unpruned publishes forced the ring to double (and the
+        // live span to survive the re-placement).
+        assert!(ch.records.len() > REC_RING_CAP);
     }
 
     #[test]

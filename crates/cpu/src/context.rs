@@ -8,96 +8,121 @@
 //! instruction sequence, which is what makes redundant execution
 //! meaningful.
 //!
-//! # Forked streams generate once
+//! # Forked streams generate once, and the per-op path is local
 //!
 //! The op streams are deterministic, so redundant execution *could*
-//! simply clone the generator and pay the full generation cost (ChaCha
-//! draws plus power-law address sampling) twice per instruction — what
-//! the original implementation did, and the simulator's single largest
-//! cost. A fork instead shares one generator behind a small replay
-//! buffer: whichever side is ahead generates an op once, the trailing
-//! side replays it from the buffer, and entries are trimmed once both
-//! sides consumed them. The sides stay within an instruction window of
+//! simply clone the generator and pay the full generation cost twice
+//! per instruction — what the original implementation did, and the
+//! simulator's single largest cost. A fork instead shares one
+//! generator behind a replay ring: whichever side is ahead generates
+//! an op once, the trailing side replays it.
+//!
+//! The sharing machinery is deliberately kept *off* the per-op path.
+//! Each context owns a small local window of ops copied out of the
+//! shared ring in batches; `peek`/`take` are a bounds check plus an
+//! index into that window — no `Rc` refcount traffic, no `RefCell`
+//! borrow flag, no `VecDeque` cursor arithmetic. Only a window refill
+//! (once per [`BATCH`] ops) touches the shared ring: it reports this
+//! side's consumption, advances the trim floor, generates forward as
+//! needed, and copies the next window. Local windows are pure copies,
+//! so the ring overwriting slots below the floor can never be
+//! observed. The sides of a pair stay within an instruction window of
 //! each other (neither commits without the partner's fingerprint), so
-//! the buffer stays tiny. A context whose fork partner has been
-//! dropped (decouple discards the mute's context) first drains
-//! whatever the partner generated ahead, then reads the generator
-//! directly with no buffering.
+//! the ring's initial capacity is rarely exceeded; it doubles if a
+//! decoupled survivor drifts further ahead.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
 use std::rc::Rc;
 
-use mmm_types::{VcpuId, VmId};
-use mmm_workload::{MicroOp, OpSource, OpStream, Privilege, TraceReplay};
+use mmm_types::{PhysAddr, VcpuId, VmId};
+use mmm_workload::{MicroOp, OpClass, OpSource, OpStream, Privilege, TraceReplay};
 
-/// A generator shared by (up to) two fork sides, with the replay
-/// buffer between the leading and the trailing side.
+/// Ops copied into a context-local window per shared-ring visit. One
+/// refcount-free window covers several simulated cycles of a 2-wide
+/// core, and the generation-ahead it implies is invisible: streams are
+/// deterministic and endless.
+const BATCH: usize = 32;
+
+/// Initial ring capacity (power of two). Covers the pair divergence
+/// window (bounded by the 128-entry ROB) plus a refill batch per side.
+const RING_CAP: usize = 256;
+
+/// Filler op for unwritten ring slots; never dispatched.
+const FILLER: MicroOp = MicroOp {
+    class: OpClass::Alu,
+    privilege: Privilege::User,
+    data_addr: None,
+    fetch_addr: PhysAddr(0),
+    mispredicted: false,
+    exec_latency: 1,
+    enters_os: false,
+    exits_os: false,
+};
+
+/// A generator shared by (up to) two fork sides, holding generated
+/// ops in a power-of-two ring indexed by sequence number.
 #[derive(Clone, Debug)]
 struct SharedStream {
     source: OpSource,
-    /// Sequence number of `buf[0]`.
-    base: u64,
-    /// Generated ops not yet consumed by both sides.
-    buf: VecDeque<MicroOp>,
-    /// Next unconsumed seq per fork side.
+    /// Ring slot for seq `q` is `ring[q & mask]`; holds `[floor, next_gen)`.
+    ring: Vec<MicroOp>,
+    mask: u64,
+    /// Sequence number of the next op to generate.
+    next_gen: u64,
+    /// Every live side has consumed ops below this; slots below the
+    /// floor are free to overwrite.
+    floor: u64,
+    /// Consumption cursor per fork side, reported at window refills.
     taken: [u64; 2],
 }
 
 impl SharedStream {
-    /// The op with sequence number `seq`, generating forward as
-    /// needed (the op stays buffered for the other side).
-    fn op_at(&mut self, seq: u64) -> MicroOp {
-        debug_assert!(seq >= self.base, "op {seq} already trimmed");
-        while self.base + (self.buf.len() as u64) <= seq {
-            self.buf.push_back(self.source.next_op());
-        }
-        self.buf[(seq - self.base) as usize]
-    }
-
-    /// Marks op `seq` consumed by `side` without re-reading it — the
-    /// caller already holds the op from a prior [`Self::op_at`] (which
-    /// is guaranteed to have buffered it). Cursor advance and trim
-    /// only.
-    fn consume_at(&mut self, side: usize, seq: u64, alone: bool) {
-        debug_assert!(
-            self.base + (self.buf.len() as u64) > seq,
-            "consume_at requires op {seq} to be buffered"
-        );
-        self.taken[side] = seq + 1;
-        let min = if alone {
-            self.taken[side]
-        } else {
-            self.taken[0].min(self.taken[1])
-        };
-        while self.base < min && !self.buf.is_empty() {
-            self.buf.pop_front();
-            self.base += 1;
+    fn new(source: OpSource) -> Self {
+        Self {
+            source,
+            ring: vec![FILLER; RING_CAP],
+            mask: RING_CAP as u64 - 1,
+            next_gen: 0,
+            floor: 0,
+            taken: [0; 2],
         }
     }
 
-    /// Consumes op `seq` for `side`, trimming entries every live side
-    /// is done with. `alone` — the partner handle was dropped, so only
-    /// `side`'s cursor gates trimming.
-    fn take_at(&mut self, side: usize, seq: u64, alone: bool) -> MicroOp {
-        // Sole reader, nothing buffered: bypass the buffer entirely.
-        if alone && seq == self.base && self.buf.is_empty() {
-            self.base = seq + 1;
-            self.taken[side] = seq + 1;
-            return self.source.next_op();
+    /// Generates forward until op `want - 1` exists in the ring.
+    /// Batched: each pass generates up to the ring headroom in one
+    /// [`OpSource::next_ops`] call (one profiler probe per window, not
+    /// per op).
+    fn generate_to(&mut self, want: u64) {
+        while self.next_gen < want {
+            if self.next_gen - self.floor >= self.ring.len() as u64 {
+                self.grow();
+            }
+            let headroom = self.floor + self.ring.len() as u64 - self.next_gen;
+            let n = (want - self.next_gen).min(headroom);
+            let mask = self.mask;
+            let ring = &mut self.ring;
+            let mut q = self.next_gen;
+            self.source.next_ops(n, |op| {
+                ring[(q & mask) as usize] = op;
+                q += 1;
+            });
+            self.next_gen = q;
         }
-        let op = self.op_at(seq);
-        self.taken[side] = seq + 1;
-        let min = if alone {
-            self.taken[side]
-        } else {
-            self.taken[0].min(self.taken[1])
-        };
-        while self.base < min && !self.buf.is_empty() {
-            self.buf.pop_front();
-            self.base += 1;
+    }
+
+    /// Doubles the ring, re-placing the live `[floor, next_gen)` span
+    /// at its new masked positions. Only a decoupled survivor running
+    /// far ahead of a stale partner cursor ever gets here.
+    #[cold]
+    fn grow(&mut self) {
+        let new_cap = self.ring.len() * 2;
+        let new_mask = new_cap as u64 - 1;
+        let mut new_ring = vec![FILLER; new_cap];
+        for q in self.floor..self.next_gen {
+            new_ring[(q & new_mask) as usize] = self.ring[(q & self.mask) as usize];
         }
-        op
+        self.ring = new_ring;
+        self.mask = new_mask;
     }
 }
 
@@ -107,12 +132,15 @@ pub struct ExecContext {
     stream: Rc<RefCell<SharedStream>>,
     /// Which fork side's cursor this context advances.
     side: usize,
+    /// Context-local copy of ops `[local_base, local_base + len)`;
+    /// the per-op fast path reads only this.
+    local: Vec<MicroOp>,
+    /// Sequence number of `local[0]`.
+    local_base: u64,
     vm: VmId,
     vcpu: VcpuId,
     /// Dynamic instruction number of the next op to dispatch.
     seq: u64,
-    /// A fetched-but-not-yet-dispatched op (one-deep fetch buffer).
-    pending: Option<MicroOp>,
     /// User-level instructions committed by this context.
     pub user_commits: u64,
     /// OS-level instructions committed by this context.
@@ -130,10 +158,11 @@ impl Clone for ExecContext {
         ExecContext {
             stream: Rc::new(RefCell::new(self.stream.borrow().clone())),
             side: self.side,
+            local: self.local.clone(),
+            local_base: self.local_base,
             vm: self.vm,
             vcpu: self.vcpu,
             seq: self.seq,
-            pending: self.pending,
             user_commits: self.user_commits,
             os_commits: self.os_commits,
             unprotected_commits: self.unprotected_commits,
@@ -158,17 +187,13 @@ impl ExecContext {
         let vm = source.vm();
         let vcpu = source.vcpu();
         Self {
-            stream: Rc::new(RefCell::new(SharedStream {
-                source,
-                base: 0,
-                buf: VecDeque::new(),
-                taken: [0; 2],
-            })),
+            stream: Rc::new(RefCell::new(SharedStream::new(source))),
             side: 0,
+            local: Vec::with_capacity(BATCH),
+            local_base: 0,
             vm,
             vcpu,
             seq: 0,
-            pending: None,
             user_commits: 0,
             os_commits: 0,
             unprotected_commits: 0,
@@ -194,19 +219,21 @@ impl ExecContext {
             // Anything the dropped previous partner generated ahead is
             // ours now; both new cursors start at our position.
             s.taken = [self.seq; 2];
-            while s.base < self.seq && !s.buf.is_empty() {
-                s.buf.pop_front();
-                s.base += 1;
+            if self.seq > s.floor {
+                s.floor = self.seq;
             }
         }
         self.side = 0;
         ExecContext {
             stream: Rc::clone(&self.stream),
             side: 1,
+            // The partner starts from an identical copy of the local
+            // window, so any already-copied ops replay on both sides.
+            local: self.local.clone(),
+            local_base: self.local_base,
             vm: self.vm,
             vcpu: self.vcpu,
             seq: self.seq,
-            pending: self.pending,
             user_commits: self.user_commits,
             os_commits: self.os_commits,
             unprotected_commits: self.unprotected_commits,
@@ -235,27 +262,78 @@ impl ExecContext {
         self.seq
     }
 
-    /// Peeks the next op without consuming it.
-    pub fn peek(&mut self) -> &MicroOp {
-        if self.pending.is_none() {
-            self.pending = Some(self.stream.borrow_mut().op_at(self.seq));
+    /// Refills the local window from the shared ring: report this
+    /// side's consumption, advance the trim floor, generate forward as
+    /// needed, and copy the next [`BATCH`] ops. The only path that
+    /// touches the `Rc<RefCell<..>>`; runs once per window.
+    #[cold]
+    fn refill(&mut self) {
+        let alone = Rc::strong_count(&self.stream) == 1;
+        let mut guard = self.stream.borrow_mut();
+        let s = &mut *guard;
+        s.taken[self.side] = self.seq;
+        if alone {
+            // A dropped partner's stale cursor must not pin the ring.
+            s.taken[1 - self.side] = self.seq;
         }
-        self.pending.as_ref().expect("just filled")
+        let min = s.taken[0].min(s.taken[1]);
+        if min > s.floor {
+            s.floor = min;
+        }
+        let want = self.seq + BATCH as u64;
+        s.generate_to(want);
+        // The window is contiguous in seq space, so it spans at most
+        // two contiguous ring segments — copy slices, not elements.
+        self.local.clear();
+        let lo = (self.seq & s.mask) as usize;
+        let hi = ((want - 1) & s.mask) as usize + 1;
+        if lo < hi {
+            self.local.extend_from_slice(&s.ring[lo..hi]);
+        } else {
+            self.local.extend_from_slice(&s.ring[lo..]);
+            self.local.extend_from_slice(&s.ring[..hi]);
+        }
+        self.local_base = self.seq;
+    }
+
+    /// Peeks the next op without consuming it.
+    #[inline]
+    pub fn peek(&mut self) -> &MicroOp {
+        let i = (self.seq - self.local_base) as usize;
+        if i >= self.local.len() {
+            self.refill();
+        }
+        &self.local[(self.seq - self.local_base) as usize]
+    }
+
+    /// Consumes the op most recently returned by
+    /// [`ExecContext::peek`], yielding its sequence number. The caller
+    /// already holds the op, so nothing is copied.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics unless a `peek` made the current position resident
+    /// in the local window.
+    #[inline]
+    pub fn advance(&mut self) -> u64 {
+        debug_assert!(
+            ((self.seq - self.local_base) as usize) < self.local.len(),
+            "advance without a preceding peek"
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        seq
     }
 
     /// Consumes the next op, advancing the stream position.
+    #[inline]
     pub fn take(&mut self) -> (u64, MicroOp) {
-        let alone = Rc::strong_count(&self.stream) == 1;
-        let op = match self.pending.take() {
-            // The peek that filled `pending` buffered the op, so only
-            // the cursor needs to move.
-            Some(op) => {
-                self.stream
-                    .borrow_mut()
-                    .consume_at(self.side, self.seq, alone);
-                op
-            }
-            None => self.stream.borrow_mut().take_at(self.side, self.seq, alone),
+        let i = (self.seq - self.local_base) as usize;
+        let op = if let Some(op) = self.local.get(i) {
+            *op
+        } else {
+            self.refill();
+            self.local[(self.seq - self.local_base) as usize]
         };
         let seq = self.seq;
         self.seq += 1;
@@ -320,7 +398,7 @@ mod tests {
         for _ in 0..50 {
             a.take();
         }
-        a.peek(); // a pending op must survive the fork on both sides
+        a.peek(); // a pending window must survive the fork on both sides
         let mut b = a.fork();
         let mut expect = ctx();
         for _ in 0..50 {
@@ -346,8 +424,8 @@ mod tests {
             }
         }
         assert_eq!(ea, eb);
-        // The shared buffer trims as both sides advance.
-        assert!(a.stream.borrow().buf.len() <= 1);
+        // A pair-bounded divergence never forces the ring to grow.
+        assert_eq!(a.stream.borrow().ring.len(), RING_CAP);
         // And the sequence matches an unforked replay exactly.
         for (i, (seq, op)) in ea.iter().enumerate() {
             let (es, eo) = expect.take();
@@ -373,8 +451,8 @@ mod tests {
         for _ in 0..10 {
             expect.take();
         }
-        // The survivor must replay ops 10..17 from the buffer, then
-        // continue generating — no gap, no repeat.
+        // The survivor must replay ops 10..17 from the shared window,
+        // then continue generating — no gap, no repeat.
         for _ in 0..100 {
             assert_eq!(a.take(), expect.take());
         }
@@ -384,6 +462,31 @@ mod tests {
             let e = expect.take();
             assert_eq!(a.take(), e);
             assert_eq!(c.take(), e);
+        }
+    }
+
+    #[test]
+    fn ring_grows_when_a_survivor_runs_far_ahead() {
+        let mut a = ctx();
+        let b = a.fork();
+        // The partner never advances past 0 and its handle stays
+        // alive, so the ring must retain everything `a` generates —
+        // past RING_CAP it has to grow, and the replay must survive
+        // the re-placement.
+        let mut taken = Vec::new();
+        for _ in 0..(RING_CAP * 3) {
+            taken.push(a.take());
+        }
+        assert!(a.stream.borrow().ring.len() > RING_CAP);
+        let mut expect = ctx();
+        for (i, e) in taken.iter().enumerate() {
+            assert_eq!(*e, expect.take(), "op {i}");
+        }
+        // The stalled partner replays the same prefix from seq 0.
+        let mut b = b;
+        let mut expect = ctx();
+        for i in 0..64 {
+            assert_eq!(b.take(), expect.take(), "partner op {i}");
         }
     }
 

@@ -78,6 +78,19 @@ struct SkipCharge {
     stall: Option<StallKind>,
 }
 
+/// Per-tick commit-counter accumulator. The commit loop retires up to
+/// `width` ops per cycle; their privilege counters are accumulated
+/// here and flushed to [`CoreStats`] and the context once per tick —
+/// one context lookup and one set of memory bumps per cycle instead of
+/// per op. Flushing happens before `tick` returns, so any observer
+/// (sampler, report, pair service — all of which run between ticks)
+/// reads exactly the values the per-op bumps would have produced.
+#[derive(Clone, Copy, Debug, Default)]
+struct RetireBatch {
+    user: u64,
+    os: u64,
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Slot {
     seq: u64,
@@ -586,6 +599,37 @@ impl Core {
     /// unblock it), and whether a blocked head charges
     /// `check_wait_cycles` every cycle while the state is frozen.
     fn commit(&mut self, now: Cycle, mem: &mut MemorySystem) -> (Cycle, bool) {
+        // Loop-invariant per tick: the context (and its VCPU) and the
+        // gate's presence cannot change inside the commit loop.
+        let vcpu = self.vcpu();
+        let mut batch = RetireBatch::default();
+        let result = self.commit_burst(now, mem, vcpu, &mut batch);
+        let total = batch.user + batch.os;
+        if total > 0 {
+            self.stats.commits_user += batch.user;
+            self.stats.commits_os += batch.os;
+            let unprotected = self.gate.is_none();
+            if unprotected {
+                self.stats.commits_unprotected += total;
+            }
+            let ctx = self.context.as_mut().expect("busy core has context");
+            ctx.user_commits += batch.user;
+            ctx.os_commits += batch.os;
+            if unprotected {
+                ctx.unprotected_commits += total;
+            }
+        }
+        result
+    }
+
+    /// The commit loop body; counter flushing lives in [`Core::commit`].
+    fn commit_burst(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        vcpu: VcpuId,
+        batch: &mut RetireBatch,
+    ) -> (Cycle, bool) {
         let mut committed = 0;
         while committed < self.width {
             let Some(head) = self.window.front().copied() else {
@@ -619,7 +663,6 @@ impl Core {
                                     return (ok_at, false);
                                 }
                             }
-                            let vcpu = self.vcpu();
                             let token = store_token(vcpu, line, head.seq);
                             let acc = mem.store_commit(self.id, line, token, self.coherent, now);
                             let slot = self.window.front_mut().expect("head exists");
@@ -656,13 +699,12 @@ impl Core {
                                 return (ok_at, false);
                             }
                         }
-                        let vcpu = self.vcpu();
                         let token = store_token(vcpu, line, head.seq);
                         mem.store_commit(self.id, line, token, self.coherent, now);
                         let drain_base = self.store_buffer.back().copied().unwrap_or(now).max(now);
                         self.store_buffer
                             .push_back(drain_base + self.sb_drain_cycles as Cycle);
-                        self.retire_head(now);
+                        self.retire_head(now, vcpu, batch);
                         committed += 1;
                         continue;
                     }
@@ -671,14 +713,15 @@ impl Core {
             if let Some(hold) = self.gate_wait(head.seq, now) {
                 return (hold, true);
             }
-            self.retire_head(now);
+            self.retire_head(now, vcpu, batch);
             committed += 1;
         }
         // Full commit width used: more may retire next cycle.
         (now + 1, false)
     }
 
-    fn retire_head(&mut self, now: Cycle) {
+    #[inline]
+    fn retire_head(&mut self, now: Cycle, vcpu: VcpuId, batch: &mut RetireBatch) {
         let slot = self.window.pop_front().expect("caller checked head");
         match slot.op.class {
             OpClass::Load => self.lq_used -= 1,
@@ -704,31 +747,18 @@ impl Core {
             }
             _ => {}
         }
-        let unprotected = self.gate.is_none();
-        let ctx = self.context.as_mut().expect("busy core has context");
-        let vcpu = ctx.vcpu();
         match slot.op.privilege {
-            Privilege::User => {
-                ctx.user_commits += 1;
-                self.stats.commits_user += 1;
-            }
-            Privilege::Os => {
-                ctx.os_commits += 1;
-                self.stats.commits_os += 1;
-            }
-        }
-        if unprotected {
-            self.stats.commits_unprotected += 1;
-            ctx.unprotected_commits += 1;
-        }
-        if let Some(t) = self.phase_tracker.as_mut() {
-            if slot.op.enters_os {
-                t.on_enter_os(now);
-            } else if slot.op.exits_os {
-                t.on_exit_os(now);
-            }
+            Privilege::User => batch.user += 1,
+            Privilege::Os => batch.os += 1,
         }
         if slot.op.enters_os || slot.op.exits_os {
+            if let Some(t) = self.phase_tracker.as_mut() {
+                if slot.op.enters_os {
+                    t.on_enter_os(now);
+                } else {
+                    t.on_exit_os(now);
+                }
+            }
             let id = self.id;
             self.tracer.emit(now, || Event::PhaseBoundary {
                 core: id,
@@ -866,9 +896,10 @@ impl Core {
                 }
             }
 
-            // Consume the op and compute its execution completion.
+            // Consume the op (already copied by the peek above) and
+            // compute its execution completion.
             let ctx = self.context.as_mut().expect("busy core has context");
-            let (seq, op) = ctx.take();
+            let seq = ctx.advance();
             let vcpu = ctx.vcpu();
             let mut ready = now + op.exec_latency as Cycle;
             if self.depends_on_prev(vcpu, seq) {
@@ -885,9 +916,16 @@ impl Core {
                     // Store-to-load forwarding: a load behind an
                     // uncommitted store to the same line observes that
                     // store's (deterministic) token, identically on
-                    // the vocal and mute cores.
-                    let observed = match self.inflight_stores.get(&addr.line()) {
-                        Some(&(sseq, _)) => store_token(vcpu, addr.line(), sseq),
+                    // the vocal and mute cores. The map is empty
+                    // exactly when no store is in the window, so the
+                    // probe is skipped outright then.
+                    let forwarded = if self.sq_used > 0 {
+                        self.inflight_stores.get(&addr.line()).copied()
+                    } else {
+                        None
+                    };
+                    let observed = match forwarded {
+                        Some((sseq, _)) => store_token(vcpu, addr.line(), sseq),
                         None => acc.version,
                     };
                     load_obs = Some((addr.line(), observed));

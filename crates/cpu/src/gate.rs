@@ -206,19 +206,21 @@ impl PairGate {
         let mut ch = self.channel.borrow_mut();
         ch.prune_below(seq);
         // Resolve the whole commit burst in one walk: the grant lets
-        // the burst's remaining polls short-circuit to a compare.
-        if let Some(upto) = ch.released_through(seq, now, 8) {
-            self.grant = (now, upto);
-            self.hold = None;
-            return true;
-        }
-        match ch.commit_time(seq, now) {
-            Some(t) => {
-                debug_assert!(t > now, "released_through missed a release");
+        // the burst's remaining polls short-circuit to a compare, and
+        // a failed poll reuses the same walk's release bound for the
+        // hold cache instead of re-walking via `commit_time`.
+        match ch.released_or_next(seq, now, 8) {
+            Ok(upto) => {
+                self.grant = (now, upto);
+                self.hold = None;
+                true
+            }
+            Err(Some(t)) => {
+                debug_assert!(t > now, "released_or_next missed a release");
                 self.hold = Some((seq, t));
                 false
             }
-            None => {
+            Err(None) => {
                 self.hold = Some((seq, now + self.none_skip as Cycle));
                 false
             }

@@ -39,6 +39,12 @@ pub struct Tlb {
     /// index probe. Pure cache: hit/miss counts and LRU stamps are
     /// identical with or without it.
     mru: Option<(PageAddr, u32)>,
+    /// Stamp of the latest MRU hit, not yet written into the slot
+    /// array: a run of consecutive MRU hits only needs its *last*
+    /// stamp recorded (LRU compares maxima), so the write is deferred
+    /// until the MRU changes or a replacement decision could read it
+    /// ([`Tlb::sync_mru_stamp`]).
+    mru_stamp: u64,
     /// Resident translations. The slot array is large (512) and, once
     /// warm, permanently full: the count lets the miss path skip the
     /// first-empty scan and go straight to LRU eviction.
@@ -57,6 +63,7 @@ impl Tlb {
             slots: vec![None; entries as usize],
             index: FastMap::default(),
             mru: None,
+            mru_stamp: 0,
             occupied: 0,
             fill_latency,
             stamp: 0,
@@ -67,18 +74,23 @@ impl Tlb {
 
     /// Translates an access to `page`; returns the added latency
     /// (0 on a hit, the fill latency on a miss).
+    ///
+    /// The hit path (MRU match or index probe) is kept small enough to
+    /// inline into the dispatch loop; the fill/eviction machinery lives
+    /// in the out-of-line cold half.
+    #[inline]
     pub fn access(&mut self, page: PageAddr, _now: Cycle) -> u32 {
         self.stamp += 1;
-        if let Some((p, pos)) = self.mru {
+        if let Some((p, _)) = self.mru {
             if p == page {
-                let slot = self.slots[pos as usize]
-                    .as_mut()
-                    .expect("cached slot is resident");
-                slot.lru = self.stamp;
+                // Defer the slot-array write: only the run's last
+                // stamp matters, and `mru_stamp` carries it.
+                self.mru_stamp = self.stamp;
                 self.hits += 1;
                 return 0;
             }
         }
+        self.sync_mru_stamp();
         if let Some(&pos) = self.index.get(&page) {
             let slot = self.slots[pos as usize]
                 .as_mut()
@@ -86,8 +98,33 @@ impl Tlb {
             slot.lru = self.stamp;
             self.hits += 1;
             self.mru = Some((page, pos));
+            self.mru_stamp = self.stamp;
             return 0;
         }
+        self.access_miss(page)
+    }
+
+    /// Writes the deferred MRU-run stamp into the slot array. Must run
+    /// before the MRU changes and before anything reads `lru` fields
+    /// (replacement in [`Tlb::access_miss`]); after it, every slot
+    /// holds exactly the stamp of its last hit, as if no deferral
+    /// existed.
+    #[inline]
+    fn sync_mru_stamp(&mut self) {
+        if let Some((_, pos)) = self.mru {
+            self.slots[pos as usize]
+                .as_mut()
+                .expect("cached slot is resident")
+                .lru = self.mru_stamp;
+        }
+    }
+
+    /// The miss half of [`Tlb::access`]: pick a slot (first-empty
+    /// while filling, then strict LRU), install the translation, and
+    /// charge the fill latency. The caller already synced the deferred
+    /// MRU stamp (the miss path runs behind [`Tlb::sync_mru_stamp`]).
+    #[cold]
+    fn access_miss(&mut self, page: PageAddr) -> u32 {
         self.misses += 1;
         let stamp = self.stamp;
         let pos = if self.occupied < self.slots.len() as u32 {
@@ -113,12 +150,16 @@ impl Tlb {
         self.slots[pos] = Some(TlbSlot { page, lru: stamp });
         self.index.insert(page, pos as u32);
         self.mru = Some((page, pos as u32));
+        self.mru_stamp = stamp;
         self.fill_latency
     }
 
     /// Removes a translation (TLB demap). The PAB mirrors this event
     /// to stay coherent (paper §3.4.1).
     pub fn demap(&mut self, page: PageAddr) -> bool {
+        // The MRU cache is dropped below; bank its deferred stamp
+        // first so the surviving slot keeps its true last-hit time.
+        self.sync_mru_stamp();
         if let Some(pos) = self.index.remove(&page) {
             self.slots[pos as usize] = None;
             self.mru = None;

@@ -70,6 +70,11 @@ pub struct SetAssocCache {
     ways: usize,
     set_mask: u64,
     stamp: u64,
+    /// Per-set way of the last lookup hit — a pure probe accelerator.
+    /// A set holds at most one copy of an address, so checking the
+    /// hinted way first returns the same slot the linear scan would;
+    /// hit/miss results and LRU stamps are identical either way.
+    way_hint: Vec<u8>,
 }
 
 impl SetAssocCache {
@@ -82,11 +87,13 @@ impl SetAssocCache {
         geom.validate().expect("invalid cache geometry");
         let sets = geom.sets() as usize;
         let ways = geom.associativity as usize;
+        assert!(ways <= 256, "way hints are byte-sized");
         Self {
             sets: vec![Slot { line: None, lru: 0 }; sets * ways],
             ways,
             set_mask: sets as u64 - 1,
             stamp: 0,
+            way_hint: vec![0; sets],
         }
     }
 
@@ -111,14 +118,27 @@ impl SetAssocCache {
     pub fn lookup(&mut self, addr: LineAddr) -> Option<&mut CacheLine> {
         self.stamp += 1;
         let stamp = self.stamp;
-        let range = self.set_range(addr);
-        self.sets[range]
+        let set = (addr.0 & self.set_mask) as usize;
+        let base = set * self.ways;
+        // Probe the way that hit here last — under power-law reuse
+        // most lookups land on it, skipping the associative scan.
+        let hinted = base + self.way_hint[set] as usize;
+        if self.sets[hinted]
+            .line
+            .as_ref()
+            .is_some_and(|l| l.addr == addr)
+        {
+            let slot = &mut self.sets[hinted];
+            slot.lru = stamp;
+            return slot.line.as_mut();
+        }
+        let hit = self.sets[base..base + self.ways]
             .iter_mut()
-            .find(|s| s.line.as_ref().is_some_and(|l| l.addr == addr))
-            .map(|s| {
-                s.lru = stamp;
-                s.line.as_mut().expect("found slot holds a line")
-            })
+            .position(|s| s.line.as_ref().is_some_and(|l| l.addr == addr))?;
+        self.way_hint[set] = hit as u8;
+        let slot = &mut self.sets[base + hit];
+        slot.lru = stamp;
+        slot.line.as_mut()
     }
 
     /// Looks up `addr` without touching LRU state (for probes that

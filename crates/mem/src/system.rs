@@ -63,6 +63,16 @@ pub struct MemorySystem {
     /// Busy horizon per L3/directory bank (optional contention model;
     /// unused when `bank_occupancy_cycles == 0`).
     bank_busy: Vec<Cycle>,
+    /// Per-core: whether the private hierarchy *might* hold an
+    /// incoherent line. Conservative (sticky true until a full purge):
+    /// set at every site that creates or marks an incoherent copy,
+    /// cleared only by [`MemorySystem::flush_mute`] and
+    /// [`MemorySystem::flash_invalidate_incoherent`], which remove
+    /// them all. While false, the coherent-request stale checks in
+    /// [`MemorySystem::load`] and [`MemorySystem::ifetch`] are skipped
+    /// — their outcome would be "nothing stale" — which spares the
+    /// common vocal/solo path a whole L2 probe per access.
+    maybe_incoherent: Vec<bool>,
     stats: MemStats,
     /// Self-profiler handle; one branch per request when off.
     profiler: Profiler,
@@ -84,6 +94,7 @@ impl MemorySystem {
             dram: Dram::new(cfg.mem.dram_latency, cfg.mem.dram_bytes_per_cycle),
             scratch: Vec::new(),
             bank_busy: vec![0; cfg.mem.l3_banks as usize],
+            maybe_incoherent: vec![false; n],
             stats: MemStats::new(),
             profiler: Profiler::off(),
         }
@@ -166,7 +177,7 @@ impl MemorySystem {
     /// the demand fetch.
     pub fn ifetch(&mut self, core: CoreId, line: LineAddr, coherent: bool, now: Cycle) -> Access {
         let _prof = self.profiler.enter(ProfPhase::Mem);
-        if coherent {
+        if coherent && self.maybe_incoherent[core.index()] {
             // Discard incoherent leftovers (see `load`).
             let stale = |l: Option<&CacheLine>| l.map(|x| !x.coherent).unwrap_or(false);
             if stale(self.l1i[core.index()].peek(line)) || stale(self.l2[core.index()].peek(line)) {
@@ -237,7 +248,7 @@ impl MemorySystem {
         // A coherent request must not consume an incoherent leftover
         // (a copy cached while this core was a mute): discard it and
         // refetch through the protocol.
-        if coherent {
+        if coherent && self.maybe_incoherent[core.index()] {
             let stale_local = self.l2[core.index()]
                 .peek(line)
                 .map(|l| !l.coherent)
@@ -525,6 +536,7 @@ impl MemorySystem {
             // Mute store: purely local. The copy diverges from the
             // coherent world, so it must be marked incoherent even if
             // it was filled coherently earlier (mode-switch leftovers).
+            self.maybe_incoherent[core.index()] = true;
             let fill = self.mute_local_fill(core, line, now);
             let idx = core.index();
             if let Some(l2line) = self.l2[idx].lookup(line) {
@@ -666,6 +678,8 @@ impl MemorySystem {
         self.scratch = scratch;
         // Drop L1 incoherent leftovers wholesale (cheap CAM clear).
         self.l1d[idx].discard_matching(|l| !l.coherent);
+        self.l1i[idx].discard_matching(|l| !l.coherent);
+        self.maybe_incoherent[idx] = false;
         let cycles = (inspected as u64).div_ceil(self.cfg.virt.flush_lines_per_cycle as u64)
             + written_back as u64;
         self.stats.flushes += 1;
@@ -687,7 +701,7 @@ impl MemorySystem {
     /// so weeks-stale data does not trigger a recovery storm.
     pub fn flash_invalidate_incoherent(&mut self, core: CoreId) -> usize {
         let idx = core.index();
-
+        self.maybe_incoherent[idx] = false;
         self.l2[idx].discard_matching(|l| !l.coherent)
             + self.l1d[idx].discard_matching(|l| !l.coherent)
             + self.l1i[idx].discard_matching(|l| !l.coherent)
@@ -709,6 +723,9 @@ impl MemorySystem {
     /// never escapes, paper §3.2).
     fn install_l2(&mut self, core: CoreId, line: CacheLine) {
         let idx = core.index();
+        if !line.coherent {
+            self.maybe_incoherent[idx] = true;
+        }
         if let Some(victim) = self.l2[idx].insert(line) {
             self.l1d[idx].invalidate(victim.addr);
             self.l1i[idx].invalidate(victim.addr);

@@ -51,7 +51,7 @@ use mmm_types::stats::Log2Histogram;
 use crate::json::Json;
 
 /// Number of distinct [`ProfPhase`]s.
-pub const PROF_PHASES: usize = 9;
+pub const PROF_PHASES: usize = 10;
 
 /// Number of event-wheel wake-source slots tracked by the
 /// introspection counters (mirrors the wheel's slot count).
@@ -86,6 +86,10 @@ pub enum ProfPhase {
     Sched = 7,
     /// Everything else inside the measured window (loop glue).
     Other = 8,
+    /// Per-cycle core-loop bookkeeping: wake-hint scanning, occupancy
+    /// accounting, and the pair service-flag sweep (minus the nested
+    /// core/mem/op-gen/pair phases, which subtract automatically).
+    CoreLoop = 9,
 }
 
 impl ProfPhase {
@@ -99,6 +103,7 @@ impl ProfPhase {
         ProfPhase::Wheel,
         ProfPhase::FastForward,
         ProfPhase::Sched,
+        ProfPhase::CoreLoop,
         ProfPhase::Other,
     ];
 
@@ -113,6 +118,7 @@ impl ProfPhase {
             ProfPhase::Wheel => "wheel_bookkeeping",
             ProfPhase::FastForward => "fast_forward",
             ProfPhase::Sched => "sched_transition",
+            ProfPhase::CoreLoop => "core_loop_bookkeeping",
             ProfPhase::Other => "other",
         }
     }

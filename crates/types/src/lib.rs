@@ -21,6 +21,7 @@ pub mod error;
 pub mod fastmap;
 pub mod ids;
 pub mod rng;
+pub mod sampler;
 pub mod stats;
 
 pub use config::SystemConfig;

@@ -35,7 +35,7 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-#[inline]
+#[cfg(test)]
 fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
     s[a] = s[a].wrapping_add(s[b]);
     s[d] = (s[d] ^ s[a]).rotate_left(16);
@@ -45,6 +45,37 @@ fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
     s[d] = (s[d] ^ s[a]).rotate_left(8);
     s[c] = s[c].wrapping_add(s[d]);
     s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// One lane-wise ChaCha round over the four row vectors — the same
+/// arithmetic as four quarter-rounds, but phrased as whole-row
+/// operations so the optimizer can keep each row in one SIMD register
+/// instead of juggling scattered indices into a flat state array.
+#[inline(always)]
+fn row_round(a: &mut [u32; 4], b: &mut [u32; 4], c: &mut [u32; 4], d: &mut [u32; 4]) {
+    for i in 0..4 {
+        a[i] = a[i].wrapping_add(b[i]);
+        d[i] = (d[i] ^ a[i]).rotate_left(16);
+    }
+    for i in 0..4 {
+        c[i] = c[i].wrapping_add(d[i]);
+        b[i] = (b[i] ^ c[i]).rotate_left(12);
+    }
+    for i in 0..4 {
+        a[i] = a[i].wrapping_add(b[i]);
+        d[i] = (d[i] ^ a[i]).rotate_left(8);
+    }
+    for i in 0..4 {
+        c[i] = c[i].wrapping_add(d[i]);
+        b[i] = (b[i] ^ c[i]).rotate_left(7);
+    }
+}
+
+/// Rotates the lanes of a row left by `N` positions (a register
+/// shuffle), mapping the column layout onto the diagonals and back.
+#[inline(always)]
+fn rotl_lanes<const N: usize>(x: [u32; 4]) -> [u32; 4] {
+    [x[N % 4], x[(N + 1) % 4], x[(N + 2) % 4], x[(N + 3) % 4]]
 }
 
 impl DetRng {
@@ -71,41 +102,38 @@ impl DetRng {
     /// Runs the ChaCha8 block function for the current counter and
     /// refills the output buffer.
     fn refill(&mut self) {
-        // "expand 32-byte k" || key || block counter || stream nonce.
-        let mut s: [u32; 16] = [
-            0x6170_7865,
-            0x3320_646E,
-            0x7962_2D32,
-            0x6B20_6574,
-            self.key[0],
-            self.key[1],
-            self.key[2],
-            self.key[3],
-            self.key[4],
-            self.key[5],
-            self.key[6],
-            self.key[7],
+        // "expand 32-byte k" || key || block counter || stream nonce,
+        // as four row vectors.
+        let a0: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+        let b0: [u32; 4] = [self.key[0], self.key[1], self.key[2], self.key[3]];
+        let c0: [u32; 4] = [self.key[4], self.key[5], self.key[6], self.key[7]];
+        let d0: [u32; 4] = [
             self.counter as u32,
             (self.counter >> 32) as u32,
             self.stream as u32,
             (self.stream >> 32) as u32,
         ];
-        let init = s;
+        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
         for _ in 0..4 {
-            // A double round: four column rounds, four diagonal rounds.
-            quarter_round(&mut s, 0, 4, 8, 12);
-            quarter_round(&mut s, 1, 5, 9, 13);
-            quarter_round(&mut s, 2, 6, 10, 14);
-            quarter_round(&mut s, 3, 7, 11, 15);
-            quarter_round(&mut s, 0, 5, 10, 15);
-            quarter_round(&mut s, 1, 6, 11, 12);
-            quarter_round(&mut s, 2, 7, 8, 13);
-            quarter_round(&mut s, 3, 4, 9, 14);
+            // A double round: a column round on the rows as laid out,
+            // then a lane rotation maps the diagonals onto the
+            // columns for the diagonal round, and the inverse
+            // rotation restores the layout.
+            row_round(&mut a, &mut b, &mut c, &mut d);
+            b = rotl_lanes::<1>(b);
+            c = rotl_lanes::<2>(c);
+            d = rotl_lanes::<3>(d);
+            row_round(&mut a, &mut b, &mut c, &mut d);
+            b = rotl_lanes::<3>(b);
+            c = rotl_lanes::<2>(c);
+            d = rotl_lanes::<1>(d);
         }
-        for (w, &i) in s.iter_mut().zip(init.iter()) {
-            *w = w.wrapping_add(i);
+        for i in 0..4 {
+            self.buf[i] = a[i].wrapping_add(a0[i]);
+            self.buf[4 + i] = b[i].wrapping_add(b0[i]);
+            self.buf[8 + i] = c[i].wrapping_add(c0[i]);
+            self.buf[12 + i] = d[i].wrapping_add(d0[i]);
         }
-        self.buf = s;
         self.counter = self.counter.wrapping_add(1);
         self.idx = 0;
     }
@@ -188,8 +216,8 @@ impl DetRng {
     /// A truncated power-law draw over `[0, n)`: index 0 is hottest.
     ///
     /// `skew` ∈ (0, ∞): larger values concentrate mass on low indices.
-    /// With `skew = 1` this approximates a Zipf distribution, matching
-    /// the heavy reuse of hot lines observed in commercial workloads.
+    /// `skew = 1` is the exact (continuous) Zipf case, matching the
+    /// heavy reuse of hot lines observed in commercial workloads.
     #[inline]
     pub fn power_law(&mut self, n: u64, skew: f64) -> u64 {
         let (a, inv) = PowerLaw::constants(n, skew);
@@ -197,16 +225,15 @@ impl DetRng {
     }
 
     /// Power-law draw using precomputed constants from
-    /// [`PowerLaw::constants`] — the hot path for workload streams,
-    /// saving one `powf` per draw.
+    /// [`PowerLaw::constants`] — the reference inverse-CDF path (one
+    /// `powf` per draw). Hot workload streams use the bit-equal
+    /// [`crate::sampler::PowerLawTable`] instead; this path remains
+    /// the reference the table is built from and verified against.
     #[inline]
     pub fn power_law_prepared(&mut self, n: u64, a: f64, inv: f64) -> u64 {
         debug_assert!(n > 0, "power_law over empty domain");
         let u = self.unit();
-        // Inverse-CDF of p(x) ~ (x+1)^(-skew) over a continuous domain,
-        // cheap and adequate for footprint modelling.
-        let x = (a * u + (1.0 - u)).powf(inv) - 1.0;
-        (x as u64).min(n - 1)
+        power_law_eval(n, a, inv, u)
     }
 
     /// Derives a child generator for a sub-component. The child stream
@@ -220,14 +247,36 @@ impl DetRng {
     }
 }
 
+/// The shared scalar evaluation of the truncated power-law inverse
+/// CDF at `u` ∈ [0, 1). This is the *single* definition used by both
+/// the per-draw `powf` reference path and the threshold-table
+/// construction in [`crate::sampler`], which is what makes the table
+/// bit-equal to the reference by construction.
+///
+/// `inv == 0.0` marks the exact Zipf case (`skew == 1`), where the
+/// inverse CDF is `(n+1)^u - 1` and `a` holds `n + 1`; `1/(1-skew)`
+/// is never zero for any other skew, so the marker is unambiguous.
+#[inline]
+pub fn power_law_eval(n: u64, a: f64, inv: f64, u: f64) -> u64 {
+    // Inverse-CDF of p(x) ~ (x+1)^(-skew) over a continuous domain,
+    // cheap and adequate for footprint modelling.
+    let x = if inv == 0.0 {
+        a.powf(u) - 1.0
+    } else {
+        (a * u + (1.0 - u)).powf(inv) - 1.0
+    };
+    (x as u64).min(n - 1)
+}
+
 /// Precomputed constants for [`DetRng::power_law_prepared`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PowerLaw {
     /// Domain size.
     pub n: u64,
-    /// `(n + 1)^(1 - skew)`.
+    /// `(n + 1)^(1 - skew)`, or `n + 1` in the Zipf case (`skew == 1`).
     pub a: f64,
-    /// `1 / (1 - skew)`.
+    /// `1 / (1 - skew)`, or the `0.0` Zipf marker (see
+    /// [`power_law_eval`]).
     pub inv: f64,
 }
 
@@ -236,17 +285,22 @@ impl PowerLaw {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or `skew == 1`.
+    /// Panics if `n == 0` or `skew <= 0`.
     pub fn new(n: u64, skew: f64) -> Self {
         let (a, inv) = Self::constants(n, skew);
         Self { n, a, inv }
     }
 
-    /// The raw `(a, inv)` pair.
+    /// The raw `(a, inv)` pair. `skew == 1` (exact Zipf) yields the
+    /// `(n + 1, 0.0)` marker encoding described on [`power_law_eval`].
     pub fn constants(n: u64, skew: f64) -> (f64, f64) {
         assert!(n > 0, "power_law over empty domain");
-        assert!((skew - 1.0).abs() > 1e-9, "skew must differ from 1");
-        ((n as f64 + 1.0).powf(1.0 - skew), 1.0 / (1.0 - skew))
+        assert!(skew > 0.0, "skew must be positive");
+        if (skew - 1.0).abs() <= 1e-9 {
+            (n as f64 + 1.0, 0.0)
+        } else {
+            ((n as f64 + 1.0).powf(1.0 - skew), 1.0 / (1.0 - skew))
+        }
     }
 
     /// Draws an index in `[0, n)` from `rng`.
@@ -307,6 +361,51 @@ mod tests {
     }
 
     #[test]
+    fn row_form_matches_quarter_round_reference() {
+        // The vectorization-friendly row-round refill must reproduce
+        // the textbook flat-state formulation bit-for-bit, across
+        // keys, counters, and nonces.
+        for trial in 0..64u64 {
+            let mut r = DetRng::new(trial.wrapping_mul(0x9E37_79B9), trial ^ 0xABCD);
+            r.counter = trial.wrapping_mul(0x0101_0101_0101);
+            let mut s: [u32; 16] = [
+                0x6170_7865,
+                0x3320_646E,
+                0x7962_2D32,
+                0x6B20_6574,
+                r.key[0],
+                r.key[1],
+                r.key[2],
+                r.key[3],
+                r.key[4],
+                r.key[5],
+                r.key[6],
+                r.key[7],
+                r.counter as u32,
+                (r.counter >> 32) as u32,
+                r.stream as u32,
+                (r.stream >> 32) as u32,
+            ];
+            let init = s;
+            for _ in 0..4 {
+                quarter_round(&mut s, 0, 4, 8, 12);
+                quarter_round(&mut s, 1, 5, 9, 13);
+                quarter_round(&mut s, 2, 6, 10, 14);
+                quarter_round(&mut s, 3, 7, 11, 15);
+                quarter_round(&mut s, 0, 5, 10, 15);
+                quarter_round(&mut s, 1, 6, 11, 12);
+                quarter_round(&mut s, 2, 7, 8, 13);
+                quarter_round(&mut s, 3, 4, 9, 14);
+            }
+            for (w, &i) in s.iter_mut().zip(init.iter()) {
+                *w = w.wrapping_add(i);
+            }
+            r.refill();
+            assert_eq!(r.buf, s, "block diverged at trial {trial}");
+        }
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut r = DetRng::new(1, 0);
         assert!(!r.chance(0.0));
@@ -356,6 +455,61 @@ mod tests {
         }
         // With skew 1.2, far more than 10% of mass sits in the lowest decile.
         assert!(low > 4_000, "low-decile hits: {low}");
+    }
+
+    #[test]
+    fn power_law_skew_below_one_spreads_mass() {
+        let mut r = DetRng::new(5, 1);
+        let n = 1000u64;
+        let mut low = 0usize;
+        for _ in 0..10_000 {
+            let x = r.power_law(n, 0.5);
+            assert!(x < n);
+            if x < n / 10 {
+                low += 1;
+            }
+        }
+        // Sub-linear skew still favors low indices, but far less than
+        // skew > 1 does; sanity-bracket the low-decile share.
+        assert!((1_000..9_000).contains(&low), "low-decile hits: {low}");
+    }
+
+    #[test]
+    fn power_law_skew_one_is_exact_zipf() {
+        // skew == 1 used to panic in PowerLaw::constants; now it takes
+        // the exact continuous-Zipf branch: P(x = 0) = ln 2 / ln(n+1).
+        let (a, inv) = PowerLaw::constants(999, 1.0);
+        assert_eq!(a, 1000.0);
+        assert_eq!(inv, 0.0);
+        let mut r = DetRng::new(5, 2);
+        let n = 999u64;
+        let draws = 40_000usize;
+        let zeros = (0..draws).filter(|_| r.power_law(n, 1.0) == 0).count();
+        let expect = (2.0f64).ln() / ((n + 1) as f64).ln();
+        let got = zeros as f64 / draws as f64;
+        assert!(
+            (got - expect).abs() < 0.01,
+            "P(0) = {got}, Zipf predicts {expect}"
+        );
+    }
+
+    #[test]
+    fn power_law_skew_above_one_concentrates_mass() {
+        let mut r = DetRng::new(5, 3);
+        let n = 1000u64;
+        let zeros = (0..10_000).filter(|_| r.power_law(n, 1.5) == 0).count();
+        // skew 1.5 puts a large point mass on the hottest line.
+        assert!(zeros > 1_000, "index-0 hits: {zeros}");
+    }
+
+    #[test]
+    fn power_law_degenerate_domain() {
+        let mut r = DetRng::new(7, 0);
+        for skew in [0.5, 1.0, 1.5] {
+            for _ in 0..100 {
+                assert_eq!(r.power_law(1, skew), 0);
+            }
+        }
     }
 
     #[test]

@@ -104,8 +104,8 @@ impl PhaseProfile {
             return Err("code and private footprints must be nonzero".into());
         }
         for (name, s) in [("skew", self.skew), ("code_skew", self.code_skew)] {
-            if s <= 0.0 || (s - 1.0).abs() < 1e-9 {
-                return Err(format!("{name} must be positive and != 1"));
+            if s <= 0.0 {
+                return Err(format!("{name} must be positive"));
             }
         }
         if self.hot_lines == 0 || self.hot_lines > self.private_lines {

@@ -30,6 +30,20 @@ impl OpSource {
         }
     }
 
+    /// Produces `n` consecutive ops through `sink` — identical to `n`
+    /// [`OpSource::next_op`] calls, but a live stream charges one
+    /// profiler probe for the whole batch.
+    pub fn next_ops(&mut self, n: u64, mut sink: impl FnMut(MicroOp)) {
+        match self {
+            OpSource::Stream(s) => s.next_ops(n, sink),
+            OpSource::Replay(r) => {
+                for _ in 0..n {
+                    sink(r.next_op());
+                }
+            }
+        }
+    }
+
     /// The VM this source belongs to.
     pub fn vm(&self) -> VmId {
         match self {

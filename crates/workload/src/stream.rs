@@ -12,7 +12,7 @@
 //! stream — which is what makes multi-configuration comparisons (DMR
 //! vs MMM) run the *same work* in every configuration.
 
-use mmm_types::rng::PowerLaw;
+use mmm_types::sampler::PowerLawSampler;
 use mmm_types::{DetRng, PhysAddr, VcpuId, VmId};
 
 use crate::layout::AddressLayout;
@@ -25,29 +25,49 @@ use crate::profile::{PhaseProfile, WorkloadProfile};
 /// rather than the read-hot head; see [`PhaseProfile::store_share_scale`]).
 const STORE_SPREAD_SKEW: f64 = 1.05;
 
-/// Precomputed power-law samplers for one phase's regions.
+/// Precomputed power-law samplers for one phase's regions. Each is
+/// table-driven (built once per distinct `(lines, skew)` pair via the
+/// process-global cache in `mmm_types::sampler`) and bit-equal to the
+/// per-draw `powf` reference path it replaced.
 #[derive(Clone, Debug)]
-struct PhaseDraws {
-    hot: PowerLaw,
-    private: PowerLaw,
-    os: Option<PowerLaw>,
-    shared: Option<PowerLaw>,
-    os_store: Option<PowerLaw>,
-    shared_store: Option<PowerLaw>,
-    code: PowerLaw,
+struct PhaseSamplers {
+    hot: PowerLawSampler,
+    private: PowerLawSampler,
+    os: Option<PowerLawSampler>,
+    shared: Option<PowerLawSampler>,
+    os_store: Option<PowerLawSampler>,
+    shared_store: Option<PowerLawSampler>,
+    code: PowerLawSampler,
 }
 
-impl PhaseDraws {
+impl PhaseSamplers {
     fn new(p: &PhaseProfile) -> Self {
-        let opt = |n: u64, skew: f64| (n > 0).then(|| PowerLaw::new(n, skew));
+        let opt = |n: u64, skew: f64| (n > 0).then(|| PowerLawSampler::new(n, skew));
         Self {
-            hot: PowerLaw::new(p.hot_lines, p.skew),
-            private: PowerLaw::new(p.private_lines, p.skew),
+            hot: PowerLawSampler::new(p.hot_lines, p.skew),
+            private: PowerLawSampler::new(p.private_lines, p.skew),
             os: opt(p.os_lines, p.skew),
             shared: opt(p.shared_lines, p.skew),
             os_store: opt(p.os_lines, STORE_SPREAD_SKEW),
             shared_store: opt(p.shared_lines, STORE_SPREAD_SKEW),
-            code: PowerLaw::new(p.code_lines, p.code_skew),
+            code: PowerLawSampler::new(p.code_lines, p.code_skew),
+        }
+    }
+}
+
+/// All precomputed samplers for one stream, indexed `[user, os]`.
+#[derive(Clone, Debug)]
+struct StreamSamplers {
+    phase: [PhaseSamplers; 2],
+}
+
+impl StreamSamplers {
+    fn new(profile: &WorkloadProfile) -> Self {
+        Self {
+            phase: [
+                PhaseSamplers::new(&profile.user),
+                PhaseSamplers::new(&profile.os),
+            ],
         }
     }
 }
@@ -72,8 +92,8 @@ pub struct OpStream {
     fetch_cursor: u64,
     /// Total ops generated (diagnostics).
     generated: u64,
-    /// Precomputed samplers: [user, os].
-    draws: [PhaseDraws; 2],
+    /// Precomputed table-driven samplers for both privilege phases.
+    draws: StreamSamplers,
     /// Self-profiler handle; one branch per op when off.
     profiler: Profiler,
 }
@@ -104,7 +124,7 @@ impl OpStream {
                 rng.geometric(1.0 / profile.mean_os_insts as f64),
             )
         };
-        let draws = [PhaseDraws::new(&profile.user), PhaseDraws::new(&profile.os)];
+        let draws = StreamSamplers::new(&profile);
         Self {
             profile,
             layout: AddressLayout::new(),
@@ -160,8 +180,26 @@ impl OpStream {
     }
 
     /// Produces the next micro-op.
+    #[inline]
     pub fn next_op(&mut self) -> MicroOp {
         let _prof = self.profiler.enter(ProfPhase::OpGen);
+        self.gen_op()
+    }
+
+    /// Produces `n` consecutive ops through `sink` under one profiler
+    /// scope — the batch refill path pays one probe per window instead
+    /// of one per op. The op sequence is identical to `n` calls of
+    /// [`OpStream::next_op`].
+    pub fn next_ops(&mut self, n: u64, mut sink: impl FnMut(MicroOp)) {
+        let _prof = self.profiler.enter(ProfPhase::OpGen);
+        for _ in 0..n {
+            sink(self.gen_op());
+        }
+    }
+
+    /// The generation step itself, shared by the single-op and batch
+    /// entry points.
+    fn gen_op(&mut self) -> MicroOp {
         let mut enters_os = false;
         let mut exits_os = false;
         if self.remaining == 0 {
@@ -223,7 +261,7 @@ impl OpStream {
         if class == OpClass::Branch && self.rng.chance(phase.jump_rate) {
             // Jump to a power-law-popular code line (hot loops
             // dominate branch targets).
-            let code = &self.draws[match self.privilege {
+            let code = &self.draws.phase[match self.privilege {
                 Privilege::User => 0,
                 Privilege::Os => 1,
             }]
@@ -255,16 +293,15 @@ impl OpStream {
     /// rest goes to the OS region, shared heap, or full private
     /// footprint, each with power-law reuse.
     fn data_address(&mut self, phase: &PhaseProfile, is_store: bool) -> PhysAddr {
-        // Copy out only the (small, `Copy`) sampler each branch needs
-        // rather than cloning the whole `PhaseDraws` — this runs for
-        // every load and store the stream generates.
+        // Samplers are borrowed in place (they are `Arc`-backed, not
+        // `Copy`); each call touches disjoint fields of `self`, so no
+        // clone happens on this per-load/store path.
         let di = match self.privilege {
             Privilege::User => 0,
             Privilege::Os => 1,
         };
         if self.rng.chance(phase.p_hot) {
-            let hot = self.draws[di].hot;
-            let idx = hot.sample(&mut self.rng);
+            let idx = self.draws.phase[di].hot.sample(&mut self.rng);
             let line = self.layout.private_line(self.vm, self.vcpu, idx);
             return PhysAddr(line.base().0 + self.rng.below(8) * 8);
         }
@@ -287,29 +324,30 @@ impl OpStream {
         } else {
             (phase.p_os_data, phase.p_shared)
         };
-        let os_draw = if is_store {
-            self.draws[di].os_store
-        } else {
-            self.draws[di].os
-        };
-        let shared_draw = if is_store {
-            self.draws[di].shared_store
-        } else {
-            self.draws[di].shared
-        };
         let r = self.rng.unit();
-        let line = if let Some(pl) = os_draw.filter(|_| r < p_os) {
-            let raw = pl.sample(&mut self.rng);
-            let idx = self.affine_index(raw, pl.n, phase, is_store);
-            self.layout.os_line(self.vm, idx)
-        } else if let Some(pl) = shared_draw.filter(|_| r < p_os + p_shared) {
-            let raw = pl.sample(&mut self.rng);
-            let idx = self.affine_index(raw, pl.n, phase, is_store);
-            self.layout.shared_line(self.vm, idx)
+        let os_draw = if is_store {
+            &self.draws.phase[di].os_store
         } else {
-            let private = self.draws[di].private;
-            let idx = private.sample(&mut self.rng);
-            self.layout.private_line(self.vm, self.vcpu, idx)
+            &self.draws.phase[di].os
+        };
+        let line = if let Some(pl) = os_draw.as_ref().filter(|_| r < p_os) {
+            let (raw, n) = (pl.sample(&mut self.rng), pl.n());
+            let idx = self.affine_index(raw, n, phase, is_store);
+            self.layout.os_line(self.vm, idx)
+        } else {
+            let shared_draw = if is_store {
+                &self.draws.phase[di].shared_store
+            } else {
+                &self.draws.phase[di].shared
+            };
+            if let Some(pl) = shared_draw.as_ref().filter(|_| r < p_os + p_shared) {
+                let (raw, n) = (pl.sample(&mut self.rng), pl.n());
+                let idx = self.affine_index(raw, n, phase, is_store);
+                self.layout.shared_line(self.vm, idx)
+            } else {
+                let idx = self.draws.phase[di].private.sample(&mut self.rng);
+                self.layout.private_line(self.vm, self.vcpu, idx)
+            }
         };
         PhysAddr(line.base().0 + self.rng.below(8) * 8)
     }
@@ -336,10 +374,25 @@ impl OpStream {
             Privilege::Os => self.profile.user.code_lines,
         };
         let window_bytes = phase.code_lines * 64;
-        let cursor = self.fetch_cursor % window_bytes;
+        // The cursor stays below the window except across a privilege
+        // switch (the two phases have different window sizes), so the
+        // common case needs no `%` — u64 division is the single most
+        // expensive ALU op on this per-op path.
+        let cursor = if self.fetch_cursor < window_bytes {
+            self.fetch_cursor
+        } else {
+            self.fetch_cursor % window_bytes
+        };
         let line_idx = os_offset + cursor / 64;
         let addr = PhysAddr(self.layout.code_line(self.vm, line_idx).base().0 + cursor % 64);
-        self.fetch_cursor = (self.fetch_cursor + 4) % window_bytes;
+        // `cursor < window_bytes` and both are multiples of 4, so the
+        // wrap is a single conditional subtract.
+        let next = cursor + 4;
+        self.fetch_cursor = if next >= window_bytes {
+            next - window_bytes
+        } else {
+            next
+        };
         addr
     }
 }

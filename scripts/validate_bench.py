@@ -115,6 +115,11 @@ def validate_profile(path: str, prof: object) -> None:
     share_sum = sum(float(v) for v in shares.values())
     if total > 0 and abs(share_sum - 100.0) > 0.5:
         fail(f"{path}: profile.phase_shares sum to {share_sum:.3f}, expected ~100")
+    # The table-driven sampler and the batched ring refill took op
+    # generation out of the hot loop's profile; keep it out.
+    op_gen = float(shares.get("op_gen", 0.0))
+    if total > 0 and op_gen >= 10.0:
+        fail(f"{path}: profile.phase_shares.op_gen is {op_gen:.1f}%, expected < 10")
     wheel = prof["wheel"]
     if not isinstance(wheel, dict):
         fail(f"{path}: profile.wheel must be an object")
