@@ -1,0 +1,102 @@
+//! `mmm-campaign` — the design-space sweep orchestrator.
+//!
+//! ```text
+//! mmm-campaign <manifest.json> [--out DIR] [--threads N] [--limit N] [--quiet]
+//! ```
+//!
+//! Reads a campaign manifest, expands the grid, runs every cell not
+//! already checkpointed in the output directory (default
+//! `campaigns/<name>`), and writes the merged `aggregate.json` plus a
+//! Pareto-frontier report. Re-running the same command resumes: cells
+//! checkpointed by a previous (possibly killed) invocation are never
+//! re-executed, and the final aggregate is byte-identical either way.
+//!
+//! `--limit N` stops after N newly-completed cells — the hook CI uses
+//! to simulate a mid-campaign kill deterministically.
+//!
+//! Exit codes: 0 success (even if the grid is not yet complete under
+//! `--limit`); 2 bad usage, unreadable/invalid manifest, or an output
+//! directory that belongs to a different sweep.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mmm_bench::campaign::{run_campaign, CampaignOptions, Manifest};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mmm-campaign <manifest.json> [--out DIR] [--threads N] [--limit N] [--quiet]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut manifest_path: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut opts = CampaignOptions {
+        threads: 0,
+        limit: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.threads = n,
+                _ => return usage(),
+            },
+            "--limit" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.limit = Some(n),
+                None => return usage(),
+            },
+            "--quiet" => opts.quiet = true,
+            _ if arg.starts_with('-') => return usage(),
+            _ if manifest_path.is_none() => manifest_path = Some(PathBuf::from(arg)),
+            _ => return usage(),
+        }
+    }
+    let Some(manifest_path) = manifest_path else {
+        return usage();
+    };
+
+    let text = match std::fs::read_to_string(&manifest_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mmm-campaign: {}: {e}", manifest_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let manifest = match Manifest::parse(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("mmm-campaign: {}: {e}", manifest_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let out_dir = out.unwrap_or_else(|| PathBuf::from("campaigns").join(&manifest.name));
+
+    match run_campaign(&manifest, &out_dir, &opts) {
+        Ok(outcome) => {
+            println!(
+                "campaign {:?}: {}/{} cells done ({} resumed, {} ran this invocation){} -> {}",
+                manifest.name,
+                outcome.cells_done,
+                outcome.cells_total,
+                outcome.resumed,
+                outcome.ran,
+                if outcome.complete { "" } else { " [partial]" },
+                outcome.aggregate_path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mmm-campaign: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! mmm-inspect A.json B.json [--threshold 0.15] [--only SUBSTR]...
 //!             [--direction both|down|up] [--json] [--force]
 //! mmm-inspect profile A.json B.json [--threshold 5] [--json] [--force]
+//! mmm-inspect campaign A.json B.json [--threshold 0] [--json] [--force]
 //! ```
 //!
 //! The `profile` mode diffs the self-profiler's phase shares between
@@ -19,6 +20,15 @@
 //! (default 5): a phase whose share moves from 30% to 37% crosses a
 //! 5-point gate and exits 1, like the perf gate. Wheel introspection
 //! counters (wake hits, skip efficiency) are shown but not gated.
+//!
+//! The `campaign` mode diffs two `aggregate.json` campaign exports
+//! (written by `mmm-campaign`): per-cell summaries, Pareto membership,
+//! and the lossless merged metrics registry all flatten into the
+//! comparison. Campaign aggregates are deterministic by construction,
+//! so the default threshold is **0** — any difference at all trips the
+//! gate. CI uses this to prove the kill/resume keystone: an
+//! interrupted-then-resumed campaign must match an uninterrupted one
+//! exactly.
 //!
 //! The two files must be the same kind and describe comparable runs:
 //! the identity block (config, benchmark, scheduler, thread count;
@@ -77,13 +87,15 @@ struct Options {
     /// `profile` mode: diff self-profiler phase shares instead of
     /// simulated metrics.
     profile: bool,
-    /// Whether `--threshold` appeared (the profile-mode default
-    /// differs from the metric-mode default).
+    /// `campaign` mode: diff two campaign aggregates exactly.
+    campaign: bool,
+    /// Whether `--threshold` appeared (the profile- and campaign-mode
+    /// defaults differ from the metric-mode default).
     threshold_set: bool,
 }
 
 fn usage() -> String {
-    "usage: mmm-inspect [profile] <A> <B> [--threshold F] [--only SUBSTR]... \
+    "usage: mmm-inspect [profile|campaign] <A> <B> [--threshold F] [--only SUBSTR]... \
      [--direction both|down|up] [--json] [--force]"
         .to_string()
 }
@@ -99,6 +111,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json: false,
         force: false,
         profile: false,
+        campaign: false,
         threshold_set: false,
     };
     let mut it = args.iter();
@@ -138,7 +151,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}\n{}", usage()))
             }
-            "profile" if paths.is_empty() && !opts.profile => opts.profile = true,
+            "profile" if paths.is_empty() && !opts.profile && !opts.campaign => opts.profile = true,
+            "campaign" if paths.is_empty() && !opts.profile && !opts.campaign => {
+                opts.campaign = true
+            }
             other => paths.push(other.to_string()),
         }
     }
@@ -150,6 +166,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.profile && !opts.threshold_set {
         // Phase shares are percentages; gate on points, not ratios.
         opts.threshold = 5.0;
+    }
+    if opts.campaign && !opts.threshold_set {
+        // Aggregates are deterministic; any drift is a failure.
+        opts.threshold = 0.0;
     }
     Ok(opts)
 }
@@ -165,6 +185,8 @@ enum Kind {
     Series,
     /// Self-profiler phase shares (`profile` mode).
     Profile,
+    /// A campaign aggregate (`campaign` mode).
+    Campaign,
 }
 
 impl Kind {
@@ -174,6 +196,7 @@ impl Kind {
             Kind::Bench => "bench",
             Kind::Series => "metrics-series",
             Kind::Profile => "profile",
+            Kind::Campaign => "campaign",
         }
     }
 }
@@ -207,8 +230,9 @@ fn load(path: &str) -> Result<RunFile, String> {
         Kind::Bench => bench_file(path, &lines),
         Kind::Report => report_file(path, &lines),
         Kind::Series => series_file(path, &lines),
-        // `profile` mode bypasses `load` entirely (see `load_profile`).
-        Kind::Profile => unreachable!("detection never yields Profile"),
+        // `profile` / `campaign` modes bypass `load` entirely (see
+        // `load_profile` / `load_campaign`).
+        Kind::Profile | Kind::Campaign => unreachable!("detection never yields these"),
     }
 }
 
@@ -410,6 +434,95 @@ fn load_profile(path: &str) -> Result<RunFile, String> {
     }
     Ok(RunFile {
         kind: Kind::Profile,
+        identity,
+        metrics,
+    })
+}
+
+/// Loads a campaign `aggregate.json` for `campaign` mode. The
+/// identity is the sweep itself — campaign name, manifest hash, and
+/// completion state — so partial and complete aggregates never compare
+/// silently. Everything numeric flattens into the gated metrics:
+/// per-cell summaries (`cell<id>.throughput`, ...), Pareto membership
+/// as 0/1, and the lossless merged registry (counters, gauges,
+/// histogram sum/max/count, stat n/mean/m2).
+fn load_campaign(path: &str) -> Result<RunFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(text.trim()).map_err(|e| format!("{path}: {e}"))?;
+    if doc.get("kind").and_then(Json::as_str) != Some("mmm-campaign-aggregate") {
+        return Err(format!(
+            "{path}: not a campaign aggregate (expected kind \"mmm-campaign-aggregate\")"
+        ));
+    }
+    let identity = [
+        "campaign",
+        "manifest_hash",
+        "cells_total",
+        "cells_done",
+        "complete",
+    ]
+    .iter()
+    .map(|k| (k.to_string(), ident_str(doc.get(k))))
+    .collect();
+    let mut metrics = BTreeMap::new();
+    for cell in doc.get("cells").and_then(Json::as_arr).unwrap_or(&[]) {
+        let id = cell.get("id").and_then(Json::as_u64).unwrap_or(0);
+        for (name, v) in cell.get("summary").and_then(Json::as_obj).unwrap_or(&[]) {
+            if let Some(n) = v.as_f64() {
+                metrics.insert(format!("cell{id}.{name}"), n);
+            }
+        }
+        if let Some(Json::Bool(p)) = cell.get("pareto") {
+            metrics.insert(format!("cell{id}.pareto"), if *p { 1.0 } else { 0.0 });
+        }
+    }
+    let merged = doc
+        .get("merged_metrics")
+        .ok_or_else(|| format!("{path}: aggregate has no merged_metrics"))?;
+    for group in ["counters", "gauges"] {
+        for (name, v) in merged.get(group).and_then(Json::as_obj).unwrap_or(&[]) {
+            if let Some(n) = v.as_f64() {
+                metrics.insert(format!("merged.{name}"), n);
+            }
+        }
+    }
+    for (name, h) in merged
+        .get("histograms")
+        .and_then(Json::as_obj)
+        .unwrap_or(&[])
+    {
+        // Lossless form: sum is a decimal string (u128), buckets carry
+        // the counts.
+        if let Some(sum) = h
+            .get("sum")
+            .and_then(Json::as_str)
+            .and_then(|s| s.parse::<f64>().ok())
+        {
+            metrics.insert(format!("merged.{name}.sum"), sum);
+        }
+        if let Some(mx) = h.get("max").and_then(Json::as_f64) {
+            metrics.insert(format!("merged.{name}.max"), mx);
+        }
+        let count: f64 = h
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .map(|b| {
+                b.iter()
+                    .filter_map(|pair| pair.as_arr()?.get(1)?.as_f64())
+                    .sum()
+            })
+            .unwrap_or(0.0);
+        metrics.insert(format!("merged.{name}.count"), count);
+    }
+    for (name, s) in merged.get("stats").and_then(Json::as_obj).unwrap_or(&[]) {
+        for field in ["n", "mean", "m2"] {
+            if let Some(n) = s.get(field).and_then(Json::as_f64) {
+                metrics.insert(format!("merged.{name}.{field}"), n);
+            }
+        }
+    }
+    Ok(RunFile {
+        kind: Kind::Campaign,
         identity,
         metrics,
     })
@@ -664,6 +777,8 @@ fn print_json(rows: &[Row], opts: &Options, kind: Kind) {
 fn run(opts: &Options) -> Result<bool, String> {
     let (a, b) = if opts.profile {
         (load_profile(&opts.a)?, load_profile(&opts.b)?)
+    } else if opts.campaign {
+        (load_campaign(&opts.a)?, load_campaign(&opts.b)?)
     } else {
         (load(&opts.a)?, load(&opts.b)?)
     };

@@ -10,6 +10,7 @@
 
 use mmm_core::{Experiment, RunResult};
 
+pub mod campaign;
 pub mod export;
 pub mod harness;
 pub mod perf;

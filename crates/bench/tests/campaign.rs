@@ -1,0 +1,122 @@
+//! The campaign keystone property, proven end-to-end: a campaign
+//! killed mid-run and resumed produces a byte-identical merged
+//! aggregate to an uninterrupted run. Plus resume bookkeeping and
+//! foreign-directory rejection.
+//!
+//! Cycle budgets are tiny so the suite stays fast in debug builds —
+//! the property under test is about checkpointing and merging, not
+//! simulation fidelity.
+
+use std::fs;
+use std::path::PathBuf;
+
+use mmm_bench::campaign::{run_campaign, CampaignOptions, Manifest};
+
+const MANIFEST: &str = r#"{
+    "name": "itest",
+    "warmup": 500,
+    "measure": 2000,
+    "seeds": 2,
+    "grid": {
+        "benchmark": "pmake",
+        "workload": ["nodmr", "reunion", "mmm_ipc"],
+        "cores": [4, 8],
+        "fault_rate": [0, 0.0001]
+    }
+}"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mmm-campaign-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts() -> CampaignOptions {
+    CampaignOptions {
+        threads: 2,
+        limit: None,
+        quiet: true,
+    }
+}
+
+#[test]
+fn killed_and_resumed_campaign_merges_byte_identically() {
+    let m = Manifest::parse(MANIFEST).expect("manifest parses");
+    assert_eq!(m.cell_count(), 12);
+
+    // Reference: one uninterrupted run.
+    let whole_dir = temp_dir("whole");
+    let whole = run_campaign(&m, &whole_dir, &opts()).expect("uninterrupted run");
+    assert!(whole.complete);
+    assert_eq!(whole.cells_done, 12);
+    let whole_bytes = fs::read(whole_dir.join("aggregate.json")).unwrap();
+
+    // Interrupted: stop after 5 cells (a deterministic stand-in for a
+    // mid-campaign kill — checkpoints on disk, grid incomplete), then
+    // resume to completion with a different thread count.
+    let split_dir = temp_dir("split");
+    let first = run_campaign(
+        &m,
+        &split_dir,
+        &CampaignOptions {
+            limit: Some(5),
+            ..opts()
+        },
+    )
+    .expect("interrupted run");
+    assert!(!first.complete);
+    assert_eq!(first.ran, 5);
+    assert_eq!(first.cells_done, 5);
+
+    let resumed = run_campaign(
+        &m,
+        &split_dir,
+        &CampaignOptions {
+            threads: 3,
+            ..opts()
+        },
+    )
+    .expect("resumed run");
+    assert!(resumed.complete);
+    assert_eq!(resumed.resumed, 5, "checkpointed cells must not re-run");
+    assert_eq!(resumed.ran, 7);
+    assert_eq!(resumed.cells_done, 12);
+
+    let split_bytes = fs::read(split_dir.join("aggregate.json")).unwrap();
+    assert_eq!(
+        whole_bytes, split_bytes,
+        "killed+resumed aggregate must be byte-identical to uninterrupted"
+    );
+
+    let _ = fs::remove_dir_all(&whole_dir);
+    let _ = fs::remove_dir_all(&split_dir);
+}
+
+#[test]
+fn resume_is_a_no_op_when_complete_and_rejects_foreign_directories() {
+    let small = r#"{"name":"itest2","warmup":200,"measure":1000,
+        "grid":{"benchmark":"synthetic:20","workload":"nodmr","cores":4}}"#;
+    let m = Manifest::parse(small).unwrap();
+    let dir = temp_dir("noop");
+    let first = run_campaign(&m, &dir, &opts()).unwrap();
+    assert!(first.complete);
+    let bytes = fs::read(dir.join("aggregate.json")).unwrap();
+
+    // Re-running a complete campaign runs nothing and rewrites the
+    // identical aggregate.
+    let again = run_campaign(&m, &dir, &opts()).unwrap();
+    assert_eq!(again.ran, 0);
+    assert_eq!(again.resumed, 1);
+    assert_eq!(bytes, fs::read(dir.join("aggregate.json")).unwrap());
+
+    // A different sweep pointed at the same directory must refuse.
+    let other = Manifest::parse(
+        r#"{"name":"itest2","warmup":200,"measure":1000,
+            "grid":{"benchmark":"synthetic:20","workload":"nodmr","cores":8}}"#,
+    )
+    .unwrap();
+    let err = run_campaign(&other, &dir, &opts()).unwrap_err();
+    assert!(err.contains("hash mismatch"), "{err}");
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -171,29 +171,9 @@ impl Experiment {
                     .map(move |(j, &s)| (i, j, w, s))
             })
             .collect();
-        let threads = threads.max(1).min(jobs.len().max(1));
-        let next = AtomicUsize::new(0);
-        let outputs: Vec<(usize, usize, Result<SystemReport>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let (next, jobs) = (&next, &jobs);
-                    scope.spawn(move || {
-                        let mut done = Vec::new();
-                        loop {
-                            let k = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&(i, j, w, s)) = jobs.get(k) else {
-                                break;
-                            };
-                            done.push((i, j, self.run_one(w, s)));
-                        }
-                        done
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("experiment thread panicked"))
-                .collect()
+        let outputs = run_queue(jobs.len(), threads, |k| {
+            let (i, j, w, s) = jobs[k];
+            (i, j, self.run_one(w, s))
         });
         let mut results: Vec<Vec<Option<SystemReport>>> =
             vec![vec![None; self.seeds.len()]; workloads.len()];
@@ -209,6 +189,86 @@ impl Experiment {
             })
             .collect())
     }
+}
+
+/// Runs `count` jobs through a fixed pool of worker threads claiming
+/// job indices off a shared atomic counter — the work-queue behind
+/// [`Experiment::run_many_on`] and [`run_cells`]. Results come back
+/// unordered (tagged by whatever `job` returns); callers slot them by
+/// index, so output is independent of the thread count.
+fn run_queue<T: Send>(count: usize, threads: usize, job: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = threads.max(1).min(count.max(1));
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (next, job) = (&next, &job);
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= count {
+                            break;
+                        }
+                        done.push(job(k));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("experiment thread panicked"))
+            .collect()
+    })
+}
+
+/// One fully-parameterized campaign cell: an [`Experiment`] template
+/// (its own `SystemConfig`, cycle budgets, seeds, and fault rate)
+/// bound to one [`Workload`]. Unlike [`Experiment::run_many`], where
+/// every workload shares a single configuration, each cell carries its
+/// own — this is the unit of a design-space sweep (PAB geometry, pair
+/// topology, scheduler mode, fault rate, switch interval all vary per
+/// cell).
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// The experiment template this cell runs under.
+    pub experiment: Experiment,
+    /// The workload configuration.
+    pub workload: Workload,
+}
+
+impl Cell {
+    /// Runs the cell's seeds sequentially (cross-cell parallelism is
+    /// [`run_cells`]' job).
+    pub fn run(&self) -> Result<RunResult> {
+        self.experiment.run_workload(self.workload)
+    }
+}
+
+/// Runs a batch of heterogeneous [`Cell`]s across the shared atomic
+/// work-queue. The cell — not the `(workload, seed)` pair — is the job
+/// granularity, so `on_complete` fires exactly once per finished cell
+/// (from a worker thread, in completion order) and a campaign can
+/// checkpoint each cell the moment it is done. Results are slotted by
+/// cell index: the returned vector is independent of the thread count
+/// and of completion order.
+pub fn run_cells<F>(cells: &[Cell], threads: usize, on_complete: F) -> Result<Vec<RunResult>>
+where
+    F: Fn(usize, &RunResult) + Sync,
+{
+    let outputs = run_queue(cells.len(), threads, |k| {
+        let result = cells[k].run();
+        if let Ok(run) = &result {
+            on_complete(k, run);
+        }
+        (k, result)
+    });
+    let mut results: Vec<Option<RunResult>> = (0..cells.len()).map(|_| None).collect();
+    for (k, result) in outputs {
+        results[k] = Some(result?);
+    }
+    Ok(results.into_iter().flatten().collect())
 }
 
 /// All seeds' reports for one workload.
@@ -301,6 +361,51 @@ mod tests {
                 assert_eq!(ra.total_user_commits(), rb.total_user_commits());
                 assert_eq!(ra.cycles, rb.cycles);
             }
+        }
+    }
+
+    #[test]
+    fn run_cells_matches_sequential_and_reports_completions() {
+        use std::sync::Mutex;
+        let mut small = tiny();
+        small.seeds = vec![1];
+        let mut other = small.clone();
+        other.cfg.pab.entries = 64;
+        let cells = [
+            Cell {
+                experiment: small.clone(),
+                workload: Workload::NoDmr(Benchmark::Pmake),
+            },
+            Cell {
+                experiment: other,
+                workload: Workload::ReunionDmr(Benchmark::Pmake),
+            },
+        ];
+        let done = Mutex::new(Vec::new());
+        let par = run_cells(&cells, 2, |i, run| {
+            done.lock().unwrap().push((i, run.reports.len()));
+        })
+        .unwrap();
+        let mut done = done.into_inner().unwrap();
+        done.sort_unstable();
+        assert_eq!(done, vec![(0, 1), (1, 1)], "one completion per cell");
+        // Slotted by cell index and bit-identical to sequential runs.
+        for (cell, run) in cells.iter().zip(&par) {
+            let seq = cell.run().unwrap();
+            assert_eq!(seq.workload, run.workload);
+            assert_eq!(
+                seq.reports[0].total_user_commits(),
+                run.reports[0].total_user_commits()
+            );
+            assert_eq!(seq.reports[0].cycles, run.reports[0].cycles);
+        }
+        // Thread count never changes the slotted output.
+        let one = run_cells(&cells, 1, |_, _| {}).unwrap();
+        for (a, b) in par.iter().zip(&one) {
+            assert_eq!(
+                a.reports[0].total_user_commits(),
+                b.reports[0].total_user_commits()
+            );
         }
     }
 

@@ -48,7 +48,7 @@ pub mod transition;
 pub mod vcpu;
 pub mod wheel;
 
-pub use experiment::{Experiment, RunResult};
+pub use experiment::{run_cells, Cell, Experiment, RunResult};
 pub use fault::{ArrivalModel, FaultInjector, FaultSite, FaultStats};
 pub use mode::RelMode;
 pub use pab::{check_store, Pab, PabStats, PabVerdict};

@@ -22,7 +22,7 @@
 //! shared ring in batches; `peek`/`take` are a bounds check plus an
 //! index into that window — no `Rc` refcount traffic, no `RefCell`
 //! borrow flag, no `VecDeque` cursor arithmetic. Only a window refill
-//! (once per [`BATCH`] ops) touches the shared ring: it reports this
+//! (once per `BATCH` ops) touches the shared ring: it reports this
 //! side's consumption, advances the trim floor, generates forward as
 //! needed, and copies the next window. Local windows are pure copies,
 //! so the ring overwriting slots below the floor can never be
@@ -264,7 +264,7 @@ impl ExecContext {
 
     /// Refills the local window from the shared ring: report this
     /// side's consumption, advance the trim floor, generate forward as
-    /// needed, and copy the next [`BATCH`] ops. The only path that
+    /// needed, and copy the next `BATCH` ops. The only path that
     /// touches the `Rc<RefCell<..>>`; runs once per window.
     #[cold]
     fn refill(&mut self) {

@@ -1,0 +1,255 @@
+//! Lossless metrics serialization for cross-run aggregation.
+//!
+//! [`crate::MetricsRegistry::to_json`] is a *summary* export: it
+//! collapses histograms to count/mean/max/percentiles, which cannot
+//! be merged after the fact. The campaign engine needs the opposite:
+//! per-cell metrics checkpointed to disk, reloaded in a later process,
+//! and merged into a cross-run aggregate that is **byte-identical** to
+//! the aggregate an uninterrupted run would have produced. This module
+//! provides that round trip:
+//!
+//! * counters serialize as integers;
+//! * gauges and [`RunningStat`]s serialize their exact `f64` state
+//!   (Rust's shortest-roundtrip float rendering parses back to the
+//!   same bits);
+//! * [`Log2Histogram`]s serialize their sparse bucket counts plus the
+//!   exact sum (a decimal string — the sum is a `u128`) and max.
+//!
+//! `registry_from_json(registry_to_json(&m))` reconstructs a registry
+//! that merges bit-identically to `m`.
+
+use mmm_types::stats::{Log2Histogram, RunningStat};
+
+use crate::json::Json;
+use crate::metrics::MetricsRegistry;
+
+/// Serializes a histogram's full state (sparse buckets, exact sum,
+/// max) — mergeable after [`histogram_from_json`], unlike the summary
+/// form in [`MetricsRegistry::to_json`].
+pub fn histogram_to_json(h: &Log2Histogram) -> Json {
+    let buckets = Json::Arr(
+        h.bucket_counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Json::Arr(vec![Json::U64(i as u64), Json::U64(c)]))
+            .collect(),
+    );
+    Json::obj([
+        ("buckets", buckets),
+        ("sum", Json::str(h.sum().to_string())),
+        ("max", Json::U64(h.max())),
+    ])
+}
+
+/// Rebuilds a histogram serialized by [`histogram_to_json`].
+pub fn histogram_from_json(v: &Json) -> Result<Log2Histogram, String> {
+    let buckets = v
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or("histogram has no buckets array")?;
+    let sparse: Vec<(usize, u64)> = buckets
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr().ok_or("bucket entry is not a pair")?;
+            match pair {
+                [i, c] => Ok((
+                    i.as_u64().ok_or("bucket index is not an integer")? as usize,
+                    c.as_u64().ok_or("bucket count is not an integer")?,
+                )),
+                _ => Err("bucket entry is not a pair".to_string()),
+            }
+        })
+        .collect::<Result<_, String>>()?;
+    let sum: u128 = v
+        .get("sum")
+        .and_then(Json::as_str)
+        .ok_or("histogram has no sum")?
+        .parse()
+        .map_err(|_| "histogram sum is not an unsigned decimal".to_string())?;
+    let max = v
+        .get("max")
+        .and_then(Json::as_u64)
+        .ok_or("histogram has no max")?;
+    Log2Histogram::from_parts(&sparse, sum, max)
+        .ok_or_else(|| "histogram bucket index out of range".to_string())
+}
+
+/// Serializes a running stat's full state (`n`, `mean`, `m2`).
+pub fn stat_to_json(s: &RunningStat) -> Json {
+    Json::obj([
+        ("n", Json::U64(s.count())),
+        ("mean", Json::F64(s.mean())),
+        ("m2", Json::F64(s.m2())),
+    ])
+}
+
+/// Rebuilds a running stat serialized by [`stat_to_json`].
+pub fn stat_from_json(v: &Json) -> Result<RunningStat, String> {
+    let n = v.get("n").and_then(Json::as_u64).ok_or("stat has no n")?;
+    let mean = v
+        .get("mean")
+        .and_then(Json::as_f64)
+        .ok_or("stat has no mean")?;
+    let m2 = v.get("m2").and_then(Json::as_f64).ok_or("stat has no m2")?;
+    Ok(RunningStat::from_parts(n, mean, m2))
+}
+
+/// Serializes a whole registry losslessly (the mergeable counterpart
+/// of [`MetricsRegistry::to_json`]). Keys iterate in sorted order, so
+/// the rendering is deterministic.
+pub fn registry_to_json(m: &MetricsRegistry) -> Json {
+    let counters = Json::Obj(
+        m.counters()
+            .map(|(k, v)| (k.to_string(), Json::U64(v)))
+            .collect(),
+    );
+    let gauges = Json::Obj(
+        m.gauges()
+            .map(|(k, v)| (k.to_string(), Json::F64(v)))
+            .collect(),
+    );
+    let histograms = Json::Obj(
+        m.histograms()
+            .map(|(k, h)| (k.to_string(), histogram_to_json(h)))
+            .collect(),
+    );
+    let stats = Json::Obj(
+        m.stats_iter()
+            .map(|(k, s)| (k.to_string(), stat_to_json(s)))
+            .collect(),
+    );
+    Json::obj([
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+        ("stats", stats),
+    ])
+}
+
+/// Rebuilds a registry serialized by [`registry_to_json`]. The result
+/// merges bit-identically to the original registry.
+pub fn registry_from_json(v: &Json) -> Result<MetricsRegistry, String> {
+    let mut m = MetricsRegistry::new();
+    for (k, c) in v.get("counters").and_then(Json::as_obj).unwrap_or(&[]) {
+        m.count(
+            k,
+            c.as_u64()
+                .ok_or_else(|| format!("counter {k} is not an integer"))?,
+        );
+    }
+    for (k, g) in v.get("gauges").and_then(Json::as_obj).unwrap_or(&[]) {
+        m.gauge(
+            k,
+            g.as_f64()
+                .ok_or_else(|| format!("gauge {k} is not a number"))?,
+        );
+    }
+    for (k, h) in v.get("histograms").and_then(Json::as_obj).unwrap_or(&[]) {
+        let h = histogram_from_json(h).map_err(|e| format!("histogram {k}: {e}"))?;
+        m.merge_histogram(k, &h);
+    }
+    for (k, s) in v.get("stats").and_then(Json::as_obj).unwrap_or(&[]) {
+        let s = stat_from_json(s).map_err(|e| format!("stat {k}: {e}"))?;
+        m.merge_stat(k, &s);
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.count("core.commits", 123_456_789);
+        m.count("mem.l1d_hits", 7);
+        m.gauge("run.avg_user_ipc", 0.123456789012345);
+        m.gauge("run.negative", -2.5);
+        for v in [0u64, 1, 5, 900, 1 << 40] {
+            m.observe("latency", v);
+        }
+        let mut s = RunningStat::new();
+        for x in [1.0, 2.5, -3.25] {
+            s.push(x);
+        }
+        m.merge_stat("transition.enter", &s);
+        m
+    }
+
+    #[test]
+    fn registry_round_trips_losslessly() {
+        let m = sample_registry();
+        let rendered = registry_to_json(&m).render();
+        let parsed = Json::parse(&rendered).expect("parses");
+        let rebuilt = registry_from_json(&parsed).expect("rebuilds");
+        // Byte-identical re-rendering is the property resume relies on.
+        assert_eq!(registry_to_json(&rebuilt).render(), rendered);
+        // And the rebuilt registry merges exactly like the original.
+        let mut a = sample_registry();
+        let mut b = sample_registry();
+        a.merge(&m);
+        b.merge(&rebuilt);
+        assert_eq!(registry_to_json(&a).render(), registry_to_json(&b).render());
+    }
+
+    #[test]
+    fn split_merge_equals_whole_merge() {
+        // Checkpoint two cells separately, reload, merge — identical
+        // to merging the live registries.
+        let mut cell_a = MetricsRegistry::new();
+        cell_a.count("c", 3);
+        cell_a.observe("h", 17);
+        let mut cell_b = MetricsRegistry::new();
+        cell_b.count("c", 4);
+        cell_b.observe("h", 90000);
+
+        let mut live = MetricsRegistry::new();
+        live.merge(&cell_a);
+        live.merge(&cell_b);
+
+        let mut reloaded = MetricsRegistry::new();
+        for cell in [&cell_a, &cell_b] {
+            let text = registry_to_json(cell).render();
+            let back = registry_from_json(&Json::parse(&text).unwrap()).unwrap();
+            reloaded.merge(&back);
+        }
+        assert_eq!(
+            registry_to_json(&reloaded).render(),
+            registry_to_json(&live).render()
+        );
+    }
+
+    #[test]
+    fn extreme_floats_and_sums_survive() {
+        let mut m = MetricsRegistry::new();
+        m.gauge("tiny", 5e-324); // smallest subnormal
+        m.gauge("big", 1.7976931348623157e308);
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        m.merge_histogram("huge", &h); // sum exceeds u64
+        let text = registry_to_json(&m).render();
+        let back = registry_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(
+            back.gauge_value("tiny").unwrap().to_bits(),
+            5e-324f64.to_bits()
+        );
+        assert_eq!(back.histogram("huge").unwrap().sum(), 2 * u64::MAX as u128);
+        assert_eq!(registry_to_json(&back).render(), text);
+    }
+
+    #[test]
+    fn malformed_aggregates_are_rejected() {
+        for text in [
+            r#"{"histograms":{"h":{"buckets":[[99,1]],"sum":"0","max":0}}}"#,
+            r#"{"histograms":{"h":{"buckets":[[0,1]],"sum":"abc","max":0}}}"#,
+            r#"{"histograms":{"h":{"buckets":[1,2],"sum":"0","max":0}}}"#,
+            r#"{"counters":{"c":"text"}}"#,
+            r#"{"stats":{"s":{"n":1}}}"#,
+        ] {
+            let v = Json::parse(text).unwrap();
+            assert!(registry_from_json(&v).is_err(), "{text} must be rejected");
+        }
+    }
+}

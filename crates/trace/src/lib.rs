@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod chrome;
 pub mod event;
 pub mod json;
@@ -47,6 +48,7 @@ pub mod profile;
 pub mod sampler;
 pub mod sink;
 
+pub use aggregate::{registry_from_json, registry_to_json};
 pub use chrome::{chrome_trace, chrome_trace_with_counters};
 pub use event::{Event, SchedAction, TraceRecord, TransitionKind};
 pub use json::Json;

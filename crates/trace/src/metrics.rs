@@ -93,6 +93,11 @@ impl MetricsRegistry {
         self.histograms.iter().map(|(k, h)| (k.as_str(), h))
     }
 
+    /// All running stats in name order.
+    pub fn stats_iter(&self) -> impl Iterator<Item = (&str, &RunningStat)> {
+        self.stats.iter().map(|(k, s)| (k.as_str(), s))
+    }
+
     /// Absorbs another registry: counters add, gauges overwrite,
     /// histograms and stats merge.
     pub fn merge(&mut self, other: &MetricsRegistry) {

@@ -59,6 +59,21 @@ impl RunningStat {
         t_crit_95(self.n - 1) * self.stddev() / (self.n as f64).sqrt()
     }
 
+    /// The raw second central moment (`m2`), for lossless
+    /// serialization. Together with [`RunningStat::count`] and
+    /// [`RunningStat::mean`] this is the accumulator's whole state.
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Rebuilds an accumulator from its serialized state (the inverse
+    /// of reading `count`/`mean`/`m2`). Used by the campaign engine to
+    /// merge checkpointed per-cell metrics exactly: a stat rebuilt
+    /// from parts merges bit-identically to the original.
+    pub fn from_parts(n: u64, mean: f64, m2: f64) -> Self {
+        Self { n, mean, m2 }
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &RunningStat) {
         if other.n == 0 {
@@ -200,6 +215,39 @@ impl Log2Histogram {
     /// holds values in `[2^(i-1), 2^i)`.
     pub fn bucket_counts(&self) -> &[u64] {
         &self.buckets
+    }
+
+    /// Exact sum of all recorded values (u128: 65 buckets of u64
+    /// observations cannot overflow it).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Rebuilds a histogram from serialized state: sparse
+    /// `(bucket index, count)` pairs plus the exact sum and max. The
+    /// observation count is derived from the buckets. Returns `None`
+    /// for out-of-range bucket indices, so corrupt checkpoint records
+    /// fail loudly instead of truncating.
+    ///
+    /// A histogram rebuilt from `bucket_counts`/`sum`/`max` merges
+    /// bit-identically to the original — the property the campaign
+    /// engine's resume path relies on.
+    pub fn from_parts(
+        sparse_buckets: &[(usize, u64)],
+        sum: u128,
+        max: u64,
+    ) -> Option<Log2Histogram> {
+        let mut h = Log2Histogram::new();
+        for &(i, c) in sparse_buckets {
+            if i >= h.buckets.len() {
+                return None;
+            }
+            h.buckets[i] += c;
+            h.count += c;
+        }
+        h.sum = sum;
+        h.max = max;
+        Some(h)
     }
 
     /// The per-bucket increase since `earlier`, where `earlier` must be
@@ -374,6 +422,45 @@ mod tests {
         assert_eq!(rebuilt.count(), later.count());
         // Snapshot minus itself is empty.
         assert_eq!(later.delta_since(&later).count(), 0);
+    }
+
+    #[test]
+    fn running_stat_round_trips_through_parts() {
+        let mut s = RunningStat::new();
+        for x in [1.5, -2.25, 7.0, 0.125] {
+            s.push(x);
+        }
+        let rebuilt = RunningStat::from_parts(s.count(), s.mean(), s.m2());
+        assert_eq!(rebuilt.count(), s.count());
+        assert_eq!(rebuilt.mean().to_bits(), s.mean().to_bits());
+        assert_eq!(rebuilt.m2().to_bits(), s.m2().to_bits());
+        // Merging the rebuilt copy behaves exactly like the original.
+        let mut a = RunningStat::new();
+        a.push(9.0);
+        let mut b = a;
+        a.merge(&s);
+        b.merge(&rebuilt);
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        assert_eq!(a.m2().to_bits(), b.m2().to_bits());
+    }
+
+    #[test]
+    fn histogram_round_trips_through_parts() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 3, 900, u64::MAX] {
+            h.record(v);
+        }
+        let sparse: Vec<(usize, u64)> = h
+            .bucket_counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect();
+        let rebuilt = Log2Histogram::from_parts(&sparse, h.sum(), h.max()).unwrap();
+        assert_eq!(rebuilt, h);
+        // Out-of-range bucket indices are rejected.
+        assert!(Log2Histogram::from_parts(&[(65, 1)], 0, 0).is_none());
     }
 
     #[test]

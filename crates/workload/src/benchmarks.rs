@@ -76,6 +76,30 @@ impl Benchmark {
         self.profile().name
     }
 
+    /// Parses a benchmark from its manifest spelling — the figure
+    /// name, compared case-insensitively (`"apache"`, `"oltp"`,
+    /// `"pgoltp"`, `"pmake"`, `"pgbench"`, `"zeus"`, `"spec-like"`),
+    /// plus `"synthetic:<K>"` for [`Benchmark::Synthetic`] with a
+    /// mean user phase of `K` thousand instructions. The inverse of
+    /// [`Benchmark::name`] for every parseable case.
+    pub fn from_name(s: &str) -> Option<Benchmark> {
+        if let Some(k) = s.strip_prefix("synthetic:") {
+            let user_kilo_insts: u16 = k.parse().ok()?;
+            return Some(Benchmark::Synthetic { user_kilo_insts });
+        }
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "apache" => Some(Benchmark::Apache),
+            "oltp" => Some(Benchmark::Oltp),
+            "pgoltp" => Some(Benchmark::Pgoltp),
+            "pmake" => Some(Benchmark::Pmake),
+            "pgbench" => Some(Benchmark::Pgbench),
+            "zeus" => Some(Benchmark::Zeus),
+            "spec-like" | "speclike" => Some(Benchmark::SpecLike),
+            _ => None,
+        }
+    }
+
     /// The statistical profile of this benchmark.
     pub fn profile(self) -> WorkloadProfile {
         match self {
@@ -323,6 +347,23 @@ mod tests {
             names,
             ["Apache", "OLTP", "pgoltp", "pmake", "pgbench", "Zeus"]
         );
+    }
+
+    #[test]
+    fn from_name_inverts_name_and_rejects_garbage() {
+        for b in Benchmark::all() {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b), "{}", b.name());
+        }
+        assert_eq!(Benchmark::from_name("SPEC-like"), Some(Benchmark::SpecLike));
+        assert_eq!(
+            Benchmark::from_name("synthetic:40"),
+            Some(Benchmark::Synthetic {
+                user_kilo_insts: 40
+            })
+        );
+        assert_eq!(Benchmark::from_name("synthetic:x"), None);
+        assert_eq!(Benchmark::from_name("tpc-h"), None);
+        assert_eq!(Benchmark::from_name(""), None);
     }
 
     #[test]

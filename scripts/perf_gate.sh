@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Perf regression gate: rebuild the BENCH_* baselines and diff each
+# against its committed copy with mmm-inspect, failing on throughput
+# regressions past the threshold.
+#
+# Replaces the copy-pasted per-baseline block ci.yml used to carry
+# three times. Controlled by the same variables as before:
+#   MMM_PERF_GATE=off            skip the gate entirely
+#   MMM_PERF_GATE_THRESHOLD=0.30 allow a larger regression
+set -euo pipefail
+
+if [ "${MMM_PERF_GATE:-on}" = "off" ]; then
+  echo "perf gate disabled (MMM_PERF_GATE=off)"
+  exit 0
+fi
+
+BASELINES=(BENCH_hotloop.json BENCH_faultloop.json BENCH_singleos.json)
+STASH="$(mktemp -d)"
+trap 'rm -rf "$STASH"' EXIT
+
+for f in "${BASELINES[@]}"; do
+  cp "$f" "$STASH/$f"
+done
+
+cargo run --release -p mmm-bench --bin perf_smoke
+cargo run --release -p mmm-bench --bin perf_fault_smoke
+python3 scripts/validate_bench.py "${BASELINES[@]}"
+
+for f in "${BASELINES[@]}"; do
+  cargo run --release -p mmm-bench --bin mmm-inspect -- \
+    "$STASH/$f" "$f" \
+    --only sim_cycles_per_sec --direction down \
+    --threshold "${MMM_PERF_GATE_THRESHOLD:-0.15}"
+done

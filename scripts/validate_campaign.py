@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Validate a campaign output directory written by ``mmm-campaign``.
+
+Usage: ``validate_campaign.py <campaign-dir>``
+
+Checks the directory layout (``manifest.json``, ``cells/``,
+``aggregate.json``), that every cell record is a whole JSON document
+carrying the campaign identity (kind, name, manifest hash) and a
+lossless metrics block, and that the aggregate is self-consistent:
+``cells_done`` matches both the record count and the ``cells`` array,
+cell rows appear in ascending id order (the determinism contract),
+every summary number is finite, the ``pareto`` id list matches the
+per-row flags, and no host-dependent gauge (``sim_cycles_per_sec``)
+leaked into the merged metrics. Exits non-zero (failing CI) on any
+violation. Uses only the Python standard library.
+"""
+
+import json
+import math
+import os
+import sys
+
+SUMMARY_KEYS = (
+    "throughput",
+    "coverage",
+    "transition_overhead",
+    "faults_injected",
+    "faults_detected",
+)
+
+
+def fail(msg: str) -> None:
+    print(f"validate_campaign: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            obj = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(obj, dict):
+        fail(f"{path}: expected an object, got {type(obj).__name__}")
+    return obj
+
+
+def check_summary(where: str, summary: object) -> None:
+    if not isinstance(summary, dict):
+        fail(f"{where}: summary must be an object")
+    for key in SUMMARY_KEYS:
+        if key not in summary:
+            fail(f"{where}: summary missing {key!r}")
+        v = summary[key]
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            fail(f"{where}: summary.{key} has type {type(v).__name__}")
+        if not math.isfinite(float(v)) or float(v) < 0.0:
+            fail(f"{where}: summary.{key} must be finite and >= 0, got {v}")
+
+
+def check_no_host_gauges(where: str, metrics: object) -> None:
+    if not isinstance(metrics, dict):
+        fail(f"{where}: metrics must be an object")
+    gauges = metrics.get("gauges", {})
+    if not isinstance(gauges, dict):
+        fail(f"{where}: metrics.gauges must be an object")
+    for name in gauges:
+        if "sim_cycles_per_sec" in name or "wall_seconds" in name:
+            fail(f"{where}: host-dependent gauge {name!r} leaked into metrics")
+
+
+def validate(camp_dir: str) -> None:
+    manifest = load(os.path.join(camp_dir, "manifest.json"))
+    for key in ("name", "warmup", "measure", "seeds", "grid"):
+        if key not in manifest:
+            fail(f"manifest.json: missing key {key!r}")
+
+    agg_path = os.path.join(camp_dir, "aggregate.json")
+    agg = load(agg_path)
+    if agg.get("kind") != "mmm-campaign-aggregate":
+        fail(f"{agg_path}: kind is {agg.get('kind')!r}")
+    if agg.get("campaign") != manifest["name"]:
+        fail(f"{agg_path}: campaign {agg.get('campaign')!r} != manifest name")
+    mh = agg.get("manifest_hash")
+    if not isinstance(mh, str) or len(mh) != 16:
+        fail(f"{agg_path}: manifest_hash must be 16 hex chars, got {mh!r}")
+
+    cells_dir = os.path.join(camp_dir, "cells")
+    records = {}
+    if os.path.isdir(cells_dir):
+        for name in sorted(os.listdir(cells_dir)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(cells_dir, name)
+            rec = load(path)
+            if rec.get("kind") != "mmm-campaign-cell":
+                fail(f"{path}: kind is {rec.get('kind')!r}")
+            if rec.get("campaign") != manifest["name"]:
+                fail(f"{path}: campaign mismatch")
+            if rec.get("manifest_hash") != mh:
+                fail(f"{path}: manifest_hash mismatch")
+            cid = rec.get("id")
+            if not isinstance(cid, int) or isinstance(cid, bool) or cid < 0:
+                fail(f"{path}: id must be a non-negative integer")
+            if cid in records:
+                fail(f"{path}: duplicate cell id {cid}")
+            check_summary(path, rec.get("summary"))
+            check_no_host_gauges(path, rec.get("metrics"))
+            records[cid] = rec
+
+    total = agg.get("cells_total")
+    done = agg.get("cells_done")
+    rows = agg.get("cells")
+    if not isinstance(rows, list):
+        fail(f"{agg_path}: cells must be an array")
+    if done != len(records):
+        fail(f"{agg_path}: cells_done={done} but {len(records)} records on disk")
+    if done != len(rows):
+        fail(f"{agg_path}: cells_done={done} but {len(rows)} cell rows")
+    if not isinstance(total, int) or total < done:
+        fail(f"{agg_path}: cells_total={total} inconsistent with cells_done={done}")
+    if agg.get("complete") != (done == total):
+        fail(f"{agg_path}: complete flag inconsistent ({done}/{total})")
+
+    pareto_rows = []
+    prev_id = -1
+    for row in rows:
+        cid = row.get("id")
+        if not isinstance(cid, int) or cid <= prev_id:
+            fail(f"{agg_path}: cell rows must be in strictly ascending id order")
+        prev_id = cid
+        if cid not in records:
+            fail(f"{agg_path}: cell {cid} has no record on disk")
+        check_summary(f"{agg_path} cell {cid}", row.get("summary"))
+        if row.get("summary") != records[cid].get("summary"):
+            fail(f"{agg_path}: cell {cid} summary differs from its record")
+        if row.get("pareto") is True:
+            pareto_rows.append(cid)
+    if agg.get("pareto") != pareto_rows:
+        fail(f"{agg_path}: pareto id list does not match per-row flags")
+    if done > 0 and not pareto_rows:
+        fail(f"{agg_path}: a non-empty campaign must have a non-empty frontier")
+    check_no_host_gauges(agg_path, agg.get("merged_metrics"))
+
+    print(
+        f"validate_campaign: OK: {camp_dir}: {done}/{total} cells, "
+        f"{len(pareto_rows)} on the Pareto frontier, manifest {mh}"
+    )
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: validate_campaign.py <campaign-dir>")
+    validate(sys.argv[1])
+
+
+if __name__ == "__main__":
+    main()
