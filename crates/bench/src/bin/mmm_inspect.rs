@@ -11,6 +11,7 @@
 //!             [--direction both|down|up] [--json] [--force]
 //! mmm-inspect profile A.json B.json [--threshold 5] [--json] [--force]
 //! mmm-inspect campaign A.json B.json [--threshold 0] [--json] [--force]
+//! mmm-inspect faults A.json B.json [--threshold 0.05] [--json] [--force]
 //! ```
 //!
 //! The `profile` mode diffs the self-profiler's phase shares between
@@ -29,6 +30,22 @@
 //! gate. CI uses this to prove the kill/resume keystone: an
 //! interrupted-then-resumed campaign must match an uninterrupted one
 //! exactly.
+//!
+//! The `faults` mode diffs two fault-forensics exports
+//! (`results/<bin>.faults.jsonl`, written under `MMM_FORENSICS=1`):
+//! per-site outcome *distributions* (the share of each site's records
+//! landing on each verdict) are gated on their absolute point delta —
+//! the default threshold is 0.05, i.e. five percentage points of
+//! outcome share — while detection-latency percentiles (p50/p99/mean,
+//! per verdict) and raw counts are shown ungated. A coverage
+//! regression (say, `tlb_permission` escapes growing from 10% to 20%
+//! of injections) exits 1.
+//!
+//! Every mode ends with a trailing summary line, `compared N metrics,
+//! skipped M absent-in-one-side`: metric names present in only one of
+//! the two files are *skipped*, not compared against zero, and a diff
+//! of files with disjoint metric sets reports itself instead of
+//! passing silently as vacuous.
 //!
 //! The two files must be the same kind and describe comparable runs:
 //! the identity block (config, benchmark, scheduler, thread count;
@@ -74,7 +91,8 @@ struct Options {
     /// Candidate export path.
     b: String,
     /// Relative-change threshold (0.15 = 15%); in `profile` mode,
-    /// percentage points of phase share.
+    /// percentage points of phase share; in `faults` mode, points of
+    /// outcome share.
     threshold: f64,
     /// Substring filters; empty means "every default metric".
     only: Vec<String>,
@@ -89,13 +107,15 @@ struct Options {
     profile: bool,
     /// `campaign` mode: diff two campaign aggregates exactly.
     campaign: bool,
-    /// Whether `--threshold` appeared (the profile- and campaign-mode
-    /// defaults differ from the metric-mode default).
+    /// `faults` mode: diff two fault-forensics exports.
+    faults: bool,
+    /// Whether `--threshold` appeared (the profile-, campaign-, and
+    /// faults-mode defaults differ from the metric-mode default).
     threshold_set: bool,
 }
 
 fn usage() -> String {
-    "usage: mmm-inspect [profile|campaign] <A> <B> [--threshold F] [--only SUBSTR]... \
+    "usage: mmm-inspect [profile|campaign|faults] <A> <B> [--threshold F] [--only SUBSTR]... \
      [--direction both|down|up] [--json] [--force]"
         .to_string()
 }
@@ -112,6 +132,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         force: false,
         profile: false,
         campaign: false,
+        faults: false,
         threshold_set: false,
     };
     let mut it = args.iter();
@@ -151,9 +172,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}\n{}", usage()))
             }
-            "profile" if paths.is_empty() && !opts.profile && !opts.campaign => opts.profile = true,
-            "campaign" if paths.is_empty() && !opts.profile && !opts.campaign => {
+            "profile" if paths.is_empty() && !opts.profile && !opts.campaign && !opts.faults => {
+                opts.profile = true
+            }
+            "campaign" if paths.is_empty() && !opts.profile && !opts.campaign && !opts.faults => {
                 opts.campaign = true
+            }
+            "faults" if paths.is_empty() && !opts.profile && !opts.campaign && !opts.faults => {
+                opts.faults = true
             }
             other => paths.push(other.to_string()),
         }
@@ -171,6 +197,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         // Aggregates are deterministic; any drift is a failure.
         opts.threshold = 0.0;
     }
+    if opts.faults && !opts.threshold_set {
+        // Outcome shares are fractions; five points of drift gates.
+        opts.threshold = 0.05;
+    }
     Ok(opts)
 }
 
@@ -187,6 +217,8 @@ enum Kind {
     Profile,
     /// A campaign aggregate (`campaign` mode).
     Campaign,
+    /// A fault-forensics export (`faults` mode).
+    Faults,
 }
 
 impl Kind {
@@ -197,6 +229,7 @@ impl Kind {
             Kind::Series => "metrics-series",
             Kind::Profile => "profile",
             Kind::Campaign => "campaign",
+            Kind::Faults => "faults",
         }
     }
 }
@@ -230,9 +263,12 @@ fn load(path: &str) -> Result<RunFile, String> {
         Kind::Bench => bench_file(path, &lines),
         Kind::Report => report_file(path, &lines),
         Kind::Series => series_file(path, &lines),
-        // `profile` / `campaign` modes bypass `load` entirely (see
-        // `load_profile` / `load_campaign`).
-        Kind::Profile | Kind::Campaign => unreachable!("detection never yields these"),
+        // `profile` / `campaign` / `faults` modes bypass `load`
+        // entirely (see `load_profile` / `load_campaign` /
+        // `load_faults`).
+        Kind::Profile | Kind::Campaign | Kind::Faults => {
+            unreachable!("detection never yields these")
+        }
     }
 }
 
@@ -528,21 +564,124 @@ fn load_campaign(path: &str) -> Result<RunFile, String> {
     })
 }
 
+/// Loads a fault-forensics export (`results/<bin>.faults.jsonl`,
+/// written under `MMM_FORENSICS=1`) for `faults` mode. Header lines
+/// (`kind: "mmm-faults-run"`) establish the identity: run count plus
+/// the distinct config/benchmark/scheduler values. Record lines
+/// (`kind: "fault"`) flatten into three metric families:
+///
+/// - `count.<site>.<verdict>` — raw record counts (ungated; they scale
+///   with run length);
+/// - `share.<site>.<verdict>` — the fraction of that site's records
+///   landing on the verdict (gated on the absolute point delta);
+/// - `latency.<verdict>.{p50,p99,mean}` — detection latency over the
+///   records carrying a non-null latency (ungated; tails are noisy).
+fn load_faults(path: &str) -> Result<RunFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut runs = 0u64;
+    let mut idents: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+    let mut outcomes: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut latencies: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for (i, raw) in text.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line = Json::parse(raw).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        match line.get("kind").and_then(Json::as_str) {
+            Some("mmm-faults-run") => {
+                runs += 1;
+                for key in ["config", "benchmark", "scheduler"] {
+                    let v = ident_str(line.get(key));
+                    let seen = idents.entry(key).or_default();
+                    if !seen.contains(&v) {
+                        seen.push(v);
+                    }
+                }
+            }
+            Some("fault") => {
+                let site = line
+                    .get("site")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{path}:{}: fault record without site", i + 1))?
+                    .to_string();
+                let verdict = line
+                    .get("verdict")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{path}:{}: fault record without verdict", i + 1))?
+                    .to_string();
+                if let Some(l) = line.get("latency").and_then(Json::as_f64) {
+                    latencies.entry(verdict.clone()).or_default().push(l);
+                }
+                *outcomes.entry((site, verdict)).or_insert(0) += 1;
+            }
+            _ => {
+                return Err(format!(
+                    "{path}:{}: not a forensics line (expected kind \
+                     \"mmm-faults-run\" or \"fault\")",
+                    i + 1
+                ))
+            }
+        }
+    }
+    if runs == 0 {
+        return Err(format!(
+            "{path}: no forensics headers (run the bench under MMM_FORENSICS=1)"
+        ));
+    }
+    let mut identity = vec![("runs".to_string(), runs.to_string())];
+    for (key, mut values) in idents {
+        values.sort();
+        identity.push((key.to_string(), values.join(",")));
+    }
+    let mut site_totals: BTreeMap<&String, u64> = BTreeMap::new();
+    for ((site, _), n) in &outcomes {
+        *site_totals.entry(site).or_insert(0) += n;
+    }
+    let mut metrics = BTreeMap::new();
+    for ((site, verdict), n) in &outcomes {
+        metrics.insert(format!("count.{site}.{verdict}"), *n as f64);
+        metrics.insert(
+            format!("share.{site}.{verdict}"),
+            *n as f64 / site_totals[site] as f64,
+        );
+    }
+    for (verdict, mut vals) in latencies {
+        vals.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+        let pct = |p: f64| vals[(p * (vals.len() - 1) as f64).round() as usize];
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        metrics.insert(format!("latency.{verdict}.p50"), pct(0.50));
+        metrics.insert(format!("latency.{verdict}.p99"), pct(0.99));
+        metrics.insert(format!("latency.{verdict}.mean"), mean);
+    }
+    Ok(RunFile {
+        kind: Kind::Faults,
+        identity,
+        metrics,
+    })
+}
+
 /// Compares two profiles: phase shares are gated on their *point*
 /// delta (shares are percentages of the measured window, so relative
 /// changes of tiny phases would be pure noise); `wheel.*`
-/// introspection rows are shown but never gated.
-fn compare_profiles(a: &RunFile, b: &RunFile, opts: &Options) -> Vec<Row> {
+/// introspection rows are shown but never gated. Returns the rows and
+/// the count of metrics skipped for being absent in one file.
+fn compare_profiles(a: &RunFile, b: &RunFile, opts: &Options) -> (Vec<Row>, usize) {
     let mut names: Vec<&String> = a.metrics.keys().chain(b.metrics.keys()).collect();
     names.sort();
     names.dedup();
     let mut rows = Vec::new();
+    let mut skipped = 0;
     for name in names {
         if !opts.only.is_empty() && !opts.only.iter().any(|s| name.contains(s.as_str())) {
             continue;
         }
-        let va = a.metrics.get(name).copied().unwrap_or(0.0);
-        let vb = b.metrics.get(name).copied().unwrap_or(0.0);
+        let (va, vb) = match (a.metrics.get(name), b.metrics.get(name)) {
+            (Some(&va), Some(&vb)) => (va, vb),
+            _ => {
+                skipped += 1;
+                continue;
+            }
+        };
         if va == 0.0 && vb == 0.0 {
             continue;
         }
@@ -562,12 +701,55 @@ fn compare_profiles(a: &RunFile, b: &RunFile, opts: &Options) -> Vec<Row> {
             fail,
         });
     }
-    rows
+    (rows, skipped)
+}
+
+/// Compares two forensics exports: `share.*` rows (per-site outcome
+/// distributions) are gated on their absolute point delta, like
+/// profile phase shares; `count.*` and `latency.*` rows are shown
+/// ungated. Returns the rows and the count of skipped-absent metrics —
+/// an outcome present in only one file (a verdict that stopped or
+/// started occurring) is skipped, and the trailing summary makes the
+/// asymmetry visible.
+fn compare_faults(a: &RunFile, b: &RunFile, opts: &Options) -> (Vec<Row>, usize) {
+    let mut names: Vec<&String> = a.metrics.keys().chain(b.metrics.keys()).collect();
+    names.sort();
+    names.dedup();
+    let mut rows = Vec::new();
+    let mut skipped = 0;
+    for name in names {
+        if !opts.only.is_empty() && !opts.only.iter().any(|s| name.contains(s.as_str())) {
+            continue;
+        }
+        let (va, vb) = match (a.metrics.get(name), b.metrics.get(name)) {
+            (Some(&va), Some(&vb)) => (va, vb),
+            _ => {
+                skipped += 1;
+                continue;
+            }
+        };
+        let delta = vb - va;
+        let gated = name.starts_with("share.");
+        let fail = gated
+            && match opts.direction {
+                Direction::Both => delta.abs() > opts.threshold,
+                Direction::Down => delta < -opts.threshold,
+                Direction::Up => delta > opts.threshold,
+            };
+        rows.push(Row {
+            name: name.clone(),
+            a: va,
+            b: vb,
+            rel: delta,
+            fail,
+        });
+    }
+    (rows, skipped)
 }
 
 /// Human-readable verdict for `profile` mode: deltas are percentage
 /// points of phase share, not relative changes.
-fn print_profile_human(rows: &[Row], opts: &Options) {
+fn print_profile_human(rows: &[Row], skipped: usize, opts: &Options) {
     let to_cells = |r: &Row| {
         vec![
             r.name.clone(),
@@ -598,10 +780,56 @@ fn print_profile_human(rows: &[Row], opts: &Options) {
         );
     }
     println!(
-        "\nmmm-inspect: {} vs {} (profile): {} metrics compared, {} over threshold",
+        "\nmmm-inspect: {} vs {} (profile): compared {} metrics, \
+         skipped {} absent-in-one-side, {} over threshold",
         opts.a,
         opts.b,
         rows.len(),
+        skipped,
+        failed.len()
+    );
+}
+
+/// Human-readable verdict for `faults` mode: share deltas are points
+/// of per-site outcome distribution; counts and latency percentiles
+/// ride along ungated.
+fn print_faults_human(rows: &[Row], skipped: usize, opts: &Options) {
+    let to_cells = |r: &Row| {
+        vec![
+            r.name.clone(),
+            fmt_num(r.a),
+            fmt_num(r.b),
+            format!("{:+.4}", r.rel),
+            if r.fail { "FAIL" } else { "ok" }.to_string(),
+        ]
+    };
+    let failed: Vec<&Row> = rows.iter().filter(|r| r.fail).collect();
+    if !failed.is_empty() {
+        print_table(
+            &format!(
+                "Outcome shares over threshold ({:.2} points, direction {})",
+                opts.threshold,
+                direction_name(opts.direction)
+            ),
+            &["metric", "A", "B", "delta", "gate"],
+            &failed.iter().map(|r| to_cells(r)).collect::<Vec<_>>(),
+        );
+    }
+    let rest: Vec<&Row> = rows.iter().filter(|r| !r.fail).collect();
+    if !rest.is_empty() {
+        print_table(
+            "Outcome counts, shares, and detection latency (within threshold)",
+            &["metric", "A", "B", "delta", "gate"],
+            &rest.iter().map(|r| to_cells(r)).collect::<Vec<_>>(),
+        );
+    }
+    println!(
+        "\nmmm-inspect: {} vs {} (faults): compared {} metrics, \
+         skipped {} absent-in-one-side, {} over threshold",
+        opts.a,
+        opts.b,
+        rows.len(),
+        skipped,
         failed.len()
     );
 }
@@ -624,11 +852,12 @@ struct Row {
     fail: bool,
 }
 
-fn compare(a: &RunFile, b: &RunFile, opts: &Options) -> Vec<Row> {
+fn compare(a: &RunFile, b: &RunFile, opts: &Options) -> (Vec<Row>, usize) {
     let mut names: Vec<&String> = a.metrics.keys().chain(b.metrics.keys()).collect();
     names.sort();
     names.dedup();
     let mut rows = Vec::new();
+    let mut skipped = 0;
     for name in names {
         if opts.only.is_empty() {
             if host_dependent(name) {
@@ -637,10 +866,17 @@ fn compare(a: &RunFile, b: &RunFile, opts: &Options) -> Vec<Row> {
         } else if !opts.only.iter().any(|s| name.contains(s.as_str())) {
             continue;
         }
-        // A metric absent on one side is an observed zero (series lines
-        // omit counters that did not move).
-        let va = a.metrics.get(name).copied().unwrap_or(0.0);
-        let vb = b.metrics.get(name).copied().unwrap_or(0.0);
+        // A metric present in only one file is *skipped*, not compared
+        // against zero: schema drift between exports should surface as
+        // a skip count in the trailing summary, not as a ±inf verdict
+        // — and never pass silently as a vacuous diff.
+        let (va, vb) = match (a.metrics.get(name), b.metrics.get(name)) {
+            (Some(&va), Some(&vb)) => (va, vb),
+            _ => {
+                skipped += 1;
+                continue;
+            }
+        };
         if va == 0.0 && vb == 0.0 {
             continue;
         }
@@ -662,7 +898,7 @@ fn compare(a: &RunFile, b: &RunFile, opts: &Options) -> Vec<Row> {
             fail,
         });
     }
-    rows
+    (rows, skipped)
 }
 
 fn fmt_num(v: f64) -> String {
@@ -689,7 +925,7 @@ fn direction_name(d: Direction) -> &'static str {
     }
 }
 
-fn print_human(rows: &[Row], opts: &Options, kind: Kind) {
+fn print_human(rows: &[Row], skipped: usize, opts: &Options, kind: Kind) {
     let failed: Vec<&Row> = rows.iter().filter(|r| r.fail).collect();
     let to_cells = |r: &Row| {
         vec![
@@ -734,17 +970,19 @@ fn print_human(rows: &[Row], opts: &Options, kind: Kind) {
         );
     }
     println!(
-        "\nmmm-inspect: {} vs {} ({}): {} metrics compared, {} moved, {} over threshold",
+        "\nmmm-inspect: {} vs {} ({}): compared {} metrics, \
+         skipped {} absent-in-one-side, {} moved, {} over threshold",
         opts.a,
         opts.b,
         kind.name(),
         rows.len(),
+        skipped,
         rows.iter().filter(|r| r.rel != 0.0).count(),
         failed.len()
     );
 }
 
-fn print_json(rows: &[Row], opts: &Options, kind: Kind) {
+fn print_json(rows: &[Row], skipped: usize, opts: &Options, kind: Kind) {
     let metrics = rows
         .iter()
         .filter(|r| r.fail || r.rel != 0.0)
@@ -765,6 +1003,7 @@ fn print_json(rows: &[Row], opts: &Options, kind: Kind) {
         ("threshold", Json::F64(opts.threshold)),
         ("direction", Json::str(direction_name(opts.direction))),
         ("compared", Json::U64(rows.len() as u64)),
+        ("skipped_absent", Json::U64(skipped as u64)),
         (
             "failed",
             Json::U64(rows.iter().filter(|r| r.fail).count() as u64),
@@ -772,6 +1011,12 @@ fn print_json(rows: &[Row], opts: &Options, kind: Kind) {
         ("metrics", Json::Arr(metrics)),
     ]);
     println!("{}", out.render());
+    // Stdout stays pure JSON; the summary line goes to stderr.
+    eprintln!(
+        "mmm-inspect: compared {} metrics, skipped {} absent-in-one-side",
+        rows.len(),
+        skipped
+    );
 }
 
 fn run(opts: &Options) -> Result<bool, String> {
@@ -779,6 +1024,8 @@ fn run(opts: &Options) -> Result<bool, String> {
         (load_profile(&opts.a)?, load_profile(&opts.b)?)
     } else if opts.campaign {
         (load_campaign(&opts.a)?, load_campaign(&opts.b)?)
+    } else if opts.faults {
+        (load_faults(&opts.a)?, load_faults(&opts.b)?)
     } else {
         (load(&opts.a)?, load(&opts.b)?)
     };
@@ -809,17 +1056,21 @@ fn run(opts: &Options) -> Result<bool, String> {
         }
         eprintln!("mmm-inspect: {msg}\nmmm-inspect: --force given, comparing anyway");
     }
-    let rows = if opts.profile {
+    let (rows, skipped) = if opts.profile {
         compare_profiles(&a, &b, opts)
+    } else if opts.faults {
+        compare_faults(&a, &b, opts)
     } else {
         compare(&a, &b, opts)
     };
     if opts.json {
-        print_json(&rows, opts, a.kind);
+        print_json(&rows, skipped, opts, a.kind);
     } else if opts.profile {
-        print_profile_human(&rows, opts);
+        print_profile_human(&rows, skipped, opts);
+    } else if opts.faults {
+        print_faults_human(&rows, skipped, opts);
     } else {
-        print_human(&rows, opts, a.kind);
+        print_human(&rows, skipped, opts, a.kind);
     }
     Ok(rows.iter().any(|r| r.fail))
 }

@@ -124,6 +124,35 @@ impl CellSummary {
     }
 }
 
+/// The fault sites in canonical report order (matching
+/// `FaultSite::all()` on the core side).
+pub const FAULT_SITES: [&str; 3] = ["core_logic", "tlb_permission", "priv_reg"];
+
+/// Per-site forensic outcome counts read from a merged registry's
+/// `fault.site.*` counters, as a JSON object keyed by site. A sweep's
+/// aggregate carries one of these per cell (and one summed across
+/// cells), so coverage-vs-site surfaces fall straight out of
+/// `aggregate.json`.
+pub fn site_outcomes_json(m: &MetricsRegistry) -> Json {
+    Json::Obj(
+        FAULT_SITES
+            .iter()
+            .map(|site| {
+                let c = |what: &str| m.counter(&format!("fault.site.{site}.{what}"));
+                (
+                    site.to_string(),
+                    Json::obj([
+                        ("injected", Json::U64(c("injected"))),
+                        ("detected", Json::U64(c("detected"))),
+                        ("masked", Json::U64(c("masked"))),
+                        ("escaped", Json::U64(c("escaped"))),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
 /// Merges a cell's per-seed reports into one deterministic registry:
 /// every report is cloned with `wall_seconds` zeroed so no
 /// host-timing gauge leaks in.

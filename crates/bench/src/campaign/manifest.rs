@@ -535,6 +535,7 @@ impl Manifest {
             sample_interval: None,
             cycle_skipping: true,
             profile: false,
+            forensics: false,
         };
         Ok(CellSpec {
             id,

@@ -17,7 +17,7 @@
 
 use mmm_trace::{registry_from_json, registry_to_json, Json, MetricsRegistry};
 
-use super::checkpoint::{CellRecord, CellSummary};
+use super::checkpoint::{site_outcomes_json, CellRecord, CellSummary};
 use super::manifest::Manifest;
 
 /// The `kind` tag the aggregate document carries.
@@ -68,12 +68,18 @@ pub fn build_aggregate(
 ) -> Result<Json, String> {
     let mut merged = MetricsRegistry::new();
     let mut rows = Vec::with_capacity(records.len());
+    let mut fault_sites = Vec::with_capacity(records.len());
     for rec in records {
         let metrics = rec
             .doc
             .get("metrics")
             .ok_or_else(|| format!("cell {} has no metrics", rec.id))?;
         let registry = registry_from_json(metrics).map_err(|e| format!("cell {}: {e}", rec.id))?;
+        // Per-cell forensic outcome counts, derived from the lossless
+        // registry (the single source of truth) rather than stored
+        // separately — so records checkpointed before this field
+        // existed still aggregate identically.
+        fault_sites.push(site_outcomes_json(&registry));
         merged.merge(&registry);
         let summary = rec
             .doc
@@ -94,11 +100,13 @@ pub fn build_aggregate(
     let pareto = pareto_frontier(&rows);
     let cells = Json::Arr(
         rows.iter()
-            .map(|r| {
+            .zip(&fault_sites)
+            .map(|(r, sites)| {
                 Json::obj([
                     ("id", Json::U64(r.id as u64)),
                     ("axes", r.axes.clone()),
                     ("summary", r.summary.to_json()),
+                    ("fault_sites", sites.clone()),
                     ("pareto", Json::Bool(pareto.contains(&r.id))),
                 ])
             })
@@ -117,6 +125,7 @@ pub fn build_aggregate(
             "pareto",
             Json::Arr(pareto.iter().map(|&id| Json::U64(id as u64)).collect()),
         ),
+        ("fault_sites", site_outcomes_json(&merged)),
         ("merged_metrics", registry_to_json(&merged)),
     ]))
 }

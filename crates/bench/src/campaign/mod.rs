@@ -21,6 +21,7 @@ pub mod merge;
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use mmm_core::run_cells;
@@ -39,7 +40,9 @@ pub struct CampaignOptions {
     /// Stop after completing this many *new* cells (used by the CI
     /// kill/resume gate; `None`: run to completion).
     pub limit: Option<usize>,
-    /// Suppress progress lines and the Pareto table.
+    /// Suppress stdout progress lines and the Pareto table. The
+    /// one-line-per-cell stderr progress stream always flows — a long
+    /// sweep stays watchable even when stdout carries data.
     pub quiet: bool,
 }
 
@@ -145,16 +148,36 @@ pub fn run_campaign(
     };
     let to_run: Vec<mmm_core::Cell> = pending.iter().map(|s| s.cell.clone()).collect();
     let io_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let total = to_run.len();
+    let completed = AtomicUsize::new(0);
     run_cells(&to_run, threads, |k, run| {
         let spec = pending[k];
+        let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
+        let run = match run {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!(
+                    "[{n}/{total}] cell-{:05} {} err: {e}",
+                    spec.id,
+                    spec.label()
+                );
+                return;
+            }
+        };
         let record = checkpoint::cell_record(m, &hash, spec, run);
         if let Err(e) = checkpoint::write_cell(out_dir, spec.id, &record) {
+            eprintln!(
+                "[{n}/{total}] cell-{:05} {} err: {e}",
+                spec.id,
+                spec.label()
+            );
             io_errors
                 .lock()
                 .unwrap()
                 .push(format!("cell {}: {e}", spec.id));
             return;
         }
+        eprintln!("[{n}/{total}] cell-{:05} {} ok", spec.id, spec.label());
         if !opts.quiet {
             println!("  done cell {:>5}  {}", spec.id, spec.label());
         }

@@ -17,7 +17,9 @@ use std::fs;
 use std::path::Path;
 
 use mmm_core::{RunResult, System, Workload};
-use mmm_trace::{chrome_trace_with_counters, Sampler, Tracer};
+use mmm_trace::{
+    chrome_trace_full, chrome_trace_with_counters, Forensics, Sampler, Tracer, FORENSICS_WINDOW,
+};
 use mmm_types::SystemConfig;
 
 /// True when the process was invoked with `--json`.
@@ -63,14 +65,34 @@ pub fn traced_run(
     }
     sys.attach_tracer(Tracer::ring(TRACE_RING));
     sys.attach_sampler(Sampler::every(SAMPLE_INTERVAL));
+    // With `MMM_FORENSICS` set, the traced run also records fault
+    // lifecycles and appends one async Perfetto span per fault
+    // (injection → verdict, colored by outcome) to the trace. The
+    // spans are strictly appended after the base events, so the
+    // forensics-off document is a byte-identical prefix.
+    let forensic = std::env::var("MMM_FORENSICS")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    if forensic {
+        sys.attach_forensics(Forensics::enabled(cfg.cores as usize, FORENSICS_WINDOW));
+    }
     sys.run(TRACE_CYCLES);
     let series = sys.sampler().series().expect("sampler attached");
-    let trace_json = chrome_trace_with_counters(
-        &sys.tracer().snapshot(),
-        cfg.cores as usize,
-        sys.now(),
-        &series,
-    );
+    let trace_json = match sys.forensics().take_report() {
+        Some(faults) => chrome_trace_full(
+            &sys.tracer().snapshot(),
+            cfg.cores as usize,
+            sys.now(),
+            &series,
+            &faults.records,
+        ),
+        None => chrome_trace_with_counters(
+            &sys.tracer().snapshot(),
+            cfg.cores as usize,
+            sys.now(),
+            &series,
+        ),
+    };
     let metrics_jsonl = series.to_jsonl(workload.name(), workload.benchmark().name());
     TracedRun {
         trace_json,
@@ -82,6 +104,12 @@ pub fn traced_run(
 pub struct JsonExport {
     name: &'static str,
     lines: Vec<String>,
+    /// Forensics JSONL lines, collected from reports that carry a
+    /// [`mmm_core::SystemReport::forensics`] section (i.e. runs under
+    /// `MMM_FORENSICS=1`). Each report contributes one run-header line
+    /// whose `run` index pairs it with the same-index line of the main
+    /// JSONL, followed by one line per fault record.
+    fault_lines: Vec<String>,
 }
 
 impl JsonExport {
@@ -90,12 +118,23 @@ impl JsonExport {
         Self {
             name,
             lines: Vec::new(),
+            fault_lines: Vec::new(),
         }
     }
 
-    /// Adds every per-seed report of a run as one JSONL line each.
+    /// Adds every per-seed report of a run as one JSONL line each,
+    /// harvesting its forensics records (if any) into the side
+    /// `*.faults.jsonl` stream.
     pub fn add(&mut self, run: &RunResult) {
         for r in &run.reports {
+            if let Some(f) = &r.forensics {
+                self.fault_lines.extend(f.jsonl(
+                    self.lines.len() as u64,
+                    r.config,
+                    r.benchmark,
+                    r.scheduler,
+                ));
+            }
             self.lines.push(r.to_json());
         }
     }
@@ -103,8 +142,10 @@ impl JsonExport {
     /// Prints the collected JSONL to stdout and writes
     /// `results/<bin>.jsonl`, `results/<bin>.trace.json`, and
     /// `results/<bin>.metrics.jsonl` (pass the artifacts from
-    /// [`traced_run`]). File-system errors are reported on stderr but
-    /// never fail the run — stdout already carries the data.
+    /// [`traced_run`]), plus `results/<bin>.faults.jsonl` when any
+    /// report carried forensics records. File-system errors are
+    /// reported on stderr but never fail the run — stdout already
+    /// carries the data.
     pub fn finish(self, traced: &TracedRun) {
         for line in &self.lines {
             println!("{line}");
@@ -126,6 +167,15 @@ impl JsonExport {
         }
         if let Err(e) = fs::write(&metrics_path, &traced.metrics_jsonl) {
             eprintln!("{}: {e}", metrics_path.display());
+        }
+        if !self.fault_lines.is_empty() {
+            let faults_path = dir.join(format!("{}.faults.jsonl", self.name));
+            let faults = self.fault_lines.join("\n") + "\n";
+            if let Err(e) = fs::write(&faults_path, faults) {
+                eprintln!("{}: {e}", faults_path.display());
+            } else {
+                eprintln!("wrote {}", faults_path.display());
+            }
         }
         eprintln!(
             "wrote {}, {} and {}",

@@ -22,10 +22,14 @@
 //! * `MMM_PROFILE` — self-profiler switch (default: off; any value
 //!   but `0` or empty enables). Attributes host wall-time to hot-loop
 //!   phases; never changes simulated timing or reported metrics.
+//! * `MMM_FORENSICS` — fault-forensics switch (default: off; any
+//!   value but `0` or empty enables). Gives every injected fault a
+//!   causal lifecycle record ([`SystemReport::forensics`]); never
+//!   changes simulated timing or reported metrics.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use mmm_trace::{Profiler, Sampler};
+use mmm_trace::{Forensics, Profiler, Sampler, FORENSICS_WINDOW};
 use mmm_types::stats::mean_ci95;
 use mmm_types::{Result, SystemConfig};
 
@@ -71,6 +75,11 @@ pub struct Experiment {
     /// host-cost attribution. Profiling never changes simulated
     /// timing or reported metrics.
     pub profile: bool,
+    /// Fault-forensics switch (`MMM_FORENSICS`; default off). When
+    /// set, each run carries a [`SystemReport::forensics`] report with
+    /// one causal lifecycle record per injected fault. Forensics never
+    /// changes simulated timing or reported metrics.
+    pub forensics: bool,
 }
 
 impl Default for Experiment {
@@ -84,6 +93,7 @@ impl Default for Experiment {
             sample_interval: None,
             cycle_skipping: true,
             profile: false,
+            forensics: false,
         }
     }
 }
@@ -111,6 +121,9 @@ impl Experiment {
         e.profile = std::env::var("MMM_PROFILE")
             .map(|v| !v.is_empty() && v != "0")
             .unwrap_or(false);
+        e.forensics = std::env::var("MMM_FORENSICS")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
         e
     }
 
@@ -125,6 +138,12 @@ impl Experiment {
         }
         if self.profile {
             sys.attach_profiler(Profiler::enabled());
+        }
+        if self.forensics {
+            sys.attach_forensics(Forensics::enabled(
+                self.cfg.cores as usize,
+                FORENSICS_WINDOW,
+            ));
         }
         sys.set_cycle_skipping(self.cycle_skipping);
         Ok(sys.run_measured(self.warmup, self.measure))
@@ -249,19 +268,18 @@ impl Cell {
 /// Runs a batch of heterogeneous [`Cell`]s across the shared atomic
 /// work-queue. The cell — not the `(workload, seed)` pair — is the job
 /// granularity, so `on_complete` fires exactly once per finished cell
-/// (from a worker thread, in completion order) and a campaign can
-/// checkpoint each cell the moment it is done. Results are slotted by
-/// cell index: the returned vector is independent of the thread count
-/// and of completion order.
+/// (from a worker thread, in completion order, with the cell's
+/// `Ok`/`Err` outcome) and a campaign can checkpoint or log each cell
+/// the moment it is done. Results are slotted by cell index: the
+/// returned vector is independent of the thread count and of
+/// completion order.
 pub fn run_cells<F>(cells: &[Cell], threads: usize, on_complete: F) -> Result<Vec<RunResult>>
 where
-    F: Fn(usize, &RunResult) + Sync,
+    F: Fn(usize, std::result::Result<&RunResult, &mmm_types::Error>) + Sync,
 {
     let outputs = run_queue(cells.len(), threads, |k| {
         let result = cells[k].run();
-        if let Ok(run) = &result {
-            on_complete(k, run);
-        }
+        on_complete(k, result.as_ref());
         (k, result)
     });
     let mut results: Vec<Option<RunResult>> = (0..cells.len()).map(|_| None).collect();
@@ -383,7 +401,9 @@ mod tests {
         ];
         let done = Mutex::new(Vec::new());
         let par = run_cells(&cells, 2, |i, run| {
-            done.lock().unwrap().push((i, run.reports.len()));
+            done.lock()
+                .unwrap()
+                .push((i, run.expect("cell runs clean").reports.len()));
         })
         .unwrap();
         let mut done = done.into_inner().unwrap();
@@ -445,5 +465,68 @@ mod tests {
     fn env_defaults_are_sane() {
         let e = Experiment::from_env();
         assert!(e.warmup > 0 && e.measure > 0 && !e.seeds.is_empty());
+    }
+
+    #[test]
+    fn forensics_is_an_observability_knob() {
+        // The golden-report constraint: metrics, counters, and cycle
+        // counts are bit-identical with forensics on or off, and the
+        // forensics report accounts for every injected fault.
+        let w = Workload::ReunionDmr(Benchmark::Pmake);
+        let mut e = tiny();
+        e.fault_rate = Some(2e-5);
+        let mut plain = e.run_one(w, 1).unwrap();
+        e.forensics = true;
+        let mut traced = e.run_one(w, 1).unwrap();
+        plain.wall_seconds = 0.0;
+        traced.wall_seconds = 0.0;
+        let forensics = traced.forensics.take().expect("forensics attached");
+        assert_eq!(
+            plain.to_json(),
+            traced.to_json(),
+            "forensics must not change the report"
+        );
+        let tel = traced.fault_telemetry.as_ref().expect("injector attached");
+        let injected: u64 = tel.sites().map(|(_, s)| s.injected).sum();
+        assert_eq!(
+            forensics.records.len() as u64,
+            injected,
+            "one record per injected fault"
+        );
+        assert!(injected > 0, "test must exercise the fault path");
+    }
+
+    #[test]
+    fn forensics_stream_is_thread_count_invariant() {
+        // The forensics JSONL, like every report, must be bit-identical
+        // across MMM_THREADS values: runs are sealed deterministic
+        // simulations slotted by job index.
+        let mut e = tiny();
+        e.fault_rate = Some(2e-5);
+        e.forensics = true;
+        let wls = [
+            Workload::ReunionDmr(Benchmark::Pmake),
+            Workload::ReunionDmr(Benchmark::Oltp),
+        ];
+        let render = |results: Vec<RunResult>| -> Vec<String> {
+            results
+                .into_iter()
+                .flat_map(|r| r.reports)
+                .map(|mut rep| {
+                    rep.forensics
+                        .take()
+                        .expect("forensics attached")
+                        .jsonl(0, "cfg", "bench", "sched")
+                        .join("\n")
+                })
+                .collect()
+        };
+        let one = render(e.run_many_on(&wls, 1).unwrap());
+        let many = render(e.run_many_on(&wls, 3).unwrap());
+        assert_eq!(one, many, "forensics stream must be thread-invariant");
+        assert!(
+            one.iter().any(|s| s.lines().count() > 1),
+            "at least one run must have recorded a fault"
+        );
     }
 }

@@ -383,4 +383,46 @@ mod tests {
             assert!(inj.draw_wild_page(500) < 500);
         }
     }
+
+    #[test]
+    fn coincident_injections_merge_into_one_latency() {
+        // Two faults striking a DMR core inside the same service
+        // window both count as detected, but the second merges into
+        // the first's armed fingerprint divergence: only one latency
+        // observation is attributed, pinning the documented
+        // `detection_latency.count() <= detected` contract.
+        use crate::sched::Workload;
+        use crate::system::System;
+        use mmm_types::SystemConfig;
+        use mmm_workload::Benchmark;
+
+        let mut sys = System::new(
+            &SystemConfig::default(),
+            Workload::ReunionDmr(Benchmark::Pmake),
+            1,
+        )
+        .unwrap();
+        // A vanishing rate (mean inter-arrival ~6e7 cycles, three
+        // orders beyond the run): the injector's own arrivals never
+        // fire, so the only faults are the manual strikes below.
+        sys.enable_fault_injection(1e-9, 7);
+        sys.run(20_000);
+        let (vocal, _) = sys.first_pair_cores().expect("ReunionDmr couples a pair");
+        let now = sys.now();
+        sys.apply_fault(vocal, FaultSite::CoreLogic, now);
+        sys.apply_fault(vocal, FaultSite::CoreLogic, now);
+        // Run on so the pair services the armed mismatch and the
+        // latency is attributed back to the first injection.
+        sys.run(20_000);
+        let report = sys.report(40_000);
+        let tel = report.fault_telemetry.expect("injector attached");
+        let site = tel.site(FaultSite::CoreLogic);
+        assert_eq!(site.injected, 2);
+        assert_eq!(site.detected, 2, "both faults detected by DMR");
+        assert_eq!(
+            site.detection_latency.count(),
+            1,
+            "merged injection contributes no separate latency"
+        );
+    }
 }

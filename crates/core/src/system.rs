@@ -16,8 +16,8 @@ use mmm_mem::request::store_token;
 use mmm_mem::{MemStats, MemorySystem};
 use mmm_reunion::{DmrPair, PairStats};
 use mmm_trace::{
-    Event, Json, MetricsRegistry, MetricsSeries, ProfPhase, ProfileReport, Profiler, Sampler,
-    SchedAction, Tracer, TransitionKind,
+    Event, Forensics, ForensicsReport, Json, MetricsRegistry, MetricsSeries, ProfPhase,
+    ProfileReport, Profiler, Sampler, SchedAction, Tracer, TransitionKind,
 };
 use mmm_types::ids::{PAGE_BYTES, PAGE_SHIFT};
 use mmm_types::{CoreId, Cycle, PageAddr, Result, SystemConfig, VcpuId, VmId};
@@ -106,6 +106,12 @@ pub struct SystemReport {
     /// with profiling on or off; exported separately via the bench
     /// harness.
     pub profile: Option<ProfileReport>,
+    /// Per-injection fault forensics over the measured period (`None`
+    /// unless a forensics recorder was attached). Like `series` and
+    /// `profile`, deliberately excluded from [`SystemReport::to_json`]
+    /// so golden reports stay bit-identical with forensics on or off;
+    /// exported separately as `*.faults.jsonl`.
+    pub forensics: Option<ForensicsReport>,
 }
 
 impl SystemReport {
@@ -384,12 +390,14 @@ pub struct System {
     injector: Option<FaultInjector>,
     /// Privileged-register corruption armed per VCPU, holding the
     /// injection cycle (detected at the next Enter-DMR verification,
-    /// which charges the injection-to-detection latency).
-    privreg_armed: Vec<Option<Cycle>>,
-    /// Injection cycles and sites of DMR faults armed per pair slot,
-    /// awaiting their fingerprint-mismatch detection so campaign
-    /// telemetry can attribute the detection latency.
-    dmr_inject_pending: Vec<VecDeque<(Cycle, FaultSite)>>,
+    /// which charges the injection-to-detection latency) and the
+    /// forensic record id when forensics is on.
+    privreg_armed: Vec<Option<(Cycle, Option<u64>)>>,
+    /// Injection cycles, sites, and forensic record ids of DMR faults
+    /// armed per pair slot, awaiting their fingerprint-mismatch
+    /// detection so campaign telemetry can attribute the detection
+    /// latency.
+    dmr_inject_pending: Vec<VecDeque<(Cycle, FaultSite, Option<u64>)>>,
     cycle: Cycle,
     slice_parity: u8,
     /// Rotation order for the overcommit scheduler (paper §3.5 /
@@ -409,6 +417,10 @@ pub struct System {
     /// Self-profiler (off by default; see [`System::attach_profiler`]).
     /// Clones are distributed to every component that hosts a probe.
     profiler: Profiler,
+    /// Fault forensics recorder (off by default; see
+    /// [`System::attach_forensics`]). Clones are distributed to cores
+    /// and live pairs for black-box context recording.
+    forensics: Forensics,
     /// The registry of future system-level wake sources: the timeslice
     /// boundary, the sampler boundary, the next fault arrival, and the
     /// single-OS trap poll. Sources that cannot act stay parked at
@@ -510,6 +522,7 @@ impl System {
             tracer: Tracer::off(),
             sampler: Sampler::off(),
             profiler: Profiler::off(),
+            forensics: Forensics::off(),
             wheel,
             measure_start: 0,
             skip_enabled: true,
@@ -656,6 +669,28 @@ impl System {
         &self.profiler
     }
 
+    /// Attaches a fault-forensics recorder: every injected fault gets
+    /// a causal lifecycle record, and clones of the handle are
+    /// distributed to every core and every live DMR pair so per-core
+    /// black-box rings capture context for escape dumps. Forensics is
+    /// purely observational — it never changes simulated timing,
+    /// counters, or reports.
+    pub fn attach_forensics(&mut self, forensics: Forensics) {
+        self.forensics = forensics;
+        for c in &mut self.cores {
+            c.set_forensics(self.forensics.clone());
+        }
+        for pair in self.pairs.iter_mut().flatten() {
+            pair.set_forensics(self.forensics.clone());
+        }
+    }
+
+    /// The attached forensics recorder (off unless
+    /// [`System::attach_forensics`] was called).
+    pub fn forensics(&self) -> &Forensics {
+        &self.forensics
+    }
+
     /// Enables or disables cycle fast-forwarding (on by default).
     /// Disabling it forces the simulator to tick every cycle; reports
     /// and sampled series are identical either way, which the
@@ -757,6 +792,7 @@ impl System {
         let mut pair = DmrPair::couple(vocal, mute, ctx, &self.cfg.reunion);
         pair.set_tracer(self.tracer.clone());
         pair.set_profiler(self.profiler.clone());
+        pair.set_forensics(self.forensics.clone());
         vocal.stall_until(ready_at);
         mute.stall_until(ready_at);
         self.pairs[slot] = Some(pair);
@@ -1183,14 +1219,18 @@ impl System {
     /// `vocal` is the pair's vocal core, for event attribution.
     fn check_privreg_on_entry(&mut self, vcpu: VcpuId, vocal: CoreId) {
         let i = self.vcpu_index(vcpu);
-        if let Some(armed_at) = self.privreg_armed[i].take() {
+        if let Some((armed_at, rec)) = self.privreg_armed[i].take() {
+            let latency = self.cycle.saturating_sub(armed_at);
             if let Some(inj) = self.injector.as_mut() {
                 inj.stats.privreg_caught_at_entry += 1;
                 let tel = inj.telemetry.site_mut(FaultSite::PrivReg);
                 tel.detected += 1;
-                tel.detection_latency
-                    .record(self.cycle.saturating_sub(armed_at));
+                tel.detection_latency.record(latency);
             }
+            self.forensics.link(rec, self.cycle, || {
+                format!("enter_dmr_verification vcpu={} latency={latency}", vcpu.0)
+            });
+            self.forensics.detected(rec, "enter_dmr", Some(latency));
             self.tracer.emit(self.cycle, || Event::FaultMasked {
                 core: vocal,
                 site: "priv_reg",
@@ -1285,7 +1325,7 @@ impl System {
 
     // ----- fault application ---------------------------------------------------
 
-    fn apply_fault(&mut self, core: CoreId, site: FaultSite, now: Cycle) {
+    pub(crate) fn apply_fault(&mut self, core: CoreId, site: FaultSite, now: Cycle) {
         let label = site.label();
         self.tracer
             .emit(now, || Event::FaultInjected { core, site: label });
@@ -1297,18 +1337,46 @@ impl System {
             p.as_ref()
                 .is_some_and(|p| p.vocal() == core || p.mute() == core)
         });
+        // Open the forensic record, classifying the core's role at the
+        // injection instant, and stamp the injection into the struck
+        // core's black-box ring (so an escape's dump is never empty).
+        let mode = match in_pair {
+            Some(slot) => {
+                let p = self.pairs[slot].as_ref().expect("slot holds a pair");
+                if p.vocal() == core {
+                    "dmr_vocal"
+                } else {
+                    "dmr_mute"
+                }
+            }
+            None if !self.cores[core.index()].is_busy() => "idle",
+            None => "perf",
+        };
+        let rec = self.forensics.open(now, core, label, mode);
+        self.forensics
+            .note(now, || Event::FaultInjected { core, site: label });
         if let Some(slot) = in_pair {
             let pair = self.pairs[slot].as_ref().expect("slot holds a pair");
             // A fault injected while a mismatch is already armed
             // merges into that one detection; only a newly armed
             // fault gets its own latency observation.
             if pair.inject_fault() {
-                self.dmr_inject_pending[slot].push_back((now, site));
+                self.dmr_inject_pending[slot].push_back((now, site, rec));
+                self.forensics
+                    .link(rec, now, || "fingerprint_divergence_armed".to_string());
+            } else {
+                self.forensics.link(rec, now, || {
+                    "merged_into_armed_divergence (no separate latency)".to_string()
+                });
             }
             if let Some(inj) = self.injector.as_mut() {
                 inj.stats.detected_by_dmr += 1;
                 inj.telemetry.site_mut(site).detected += 1;
             }
+            // Detection by the fingerprint check is certain; the exact
+            // latency is attributed when the pair services the
+            // mismatch (merged injections keep a `null` latency).
+            self.forensics.detected(rec, "dmr", None);
             self.tracer.emit(now, || Event::FaultMasked {
                 core,
                 site: label,
@@ -1321,6 +1389,7 @@ impl System {
                 inj.stats.on_idle_core += 1;
                 inj.telemetry.site_mut(site).masked += 1;
             }
+            self.forensics.masked(rec, "idle");
             self.tracer.emit(now, || Event::FaultMasked {
                 core,
                 site: label,
@@ -1335,6 +1404,7 @@ impl System {
                     inj.stats.silent_perf_faults += 1;
                     inj.telemetry.site_mut(site).masked += 1;
                 }
+                self.forensics.masked(rec, "silent_perf_fault");
             }
             FaultSite::PrivReg => {
                 let i = self
@@ -1348,7 +1418,16 @@ impl System {
                     // corruption (paper §3.4.3). A re-arm while armed
                     // merges into the first injection's detection.
                     if self.privreg_armed[i].is_none() {
-                        self.privreg_armed[i] = Some(now);
+                        self.privreg_armed[i] = Some((now, rec));
+                        let vcpu = self.vcpus[i].id;
+                        self.forensics.link(rec, now, || {
+                            format!("privreg_armed vcpu={} awaiting enter_dmr", vcpu.0)
+                        });
+                    } else {
+                        // The armed corruption's eventual detection
+                        // belongs to the first injection; this one
+                        // stays terminally unattributed.
+                        self.forensics.pending(rec, "merged_into_armed_privreg");
                     }
                 } else {
                     // A pure performance guest never re-enters DMR:
@@ -1358,6 +1437,7 @@ impl System {
                         inj.stats.silent_perf_faults += 1;
                         inj.telemetry.site_mut(site).masked += 1;
                     }
+                    self.forensics.masked(rec, "unprotected_guest");
                 }
             }
             FaultSite::TlbPermission => {
@@ -1368,6 +1448,27 @@ impl System {
                 let inj = self.injector.as_mut().expect("fault path has injector");
                 let page = PageAddr(inj.draw_wild_page(max_page));
                 let line = page.first_line();
+                // Forensic context reads are pure observation: the
+                // wild page's TLB residency and the PAB occupancy on
+                // the striking core.
+                if self.forensics.is_on() {
+                    let c = &self.cores[core.index()];
+                    let resident = c.tlb_resident(page);
+                    let tlb_occ = c.tlb_occupancy();
+                    let pab_occ = self.pabs[core.index()].borrow().occupancy();
+                    self.forensics.link(rec, now, || {
+                        format!(
+                            "wild_store page={} tlb_resident={resident} \
+                             tlb_occupancy={tlb_occ} pab_occupancy={pab_occ}",
+                            page.0
+                        )
+                    });
+                }
+                let pab_hits_before = if self.forensics.is_on() {
+                    self.pabs[core.index()].borrow().stats().hits
+                } else {
+                    0
+                };
                 let pat = self.pat.borrow();
                 let (ready, verdict) = crate::pab::check_store(
                     &self.pabs[core.index()],
@@ -1378,6 +1479,13 @@ impl System {
                     now,
                 );
                 drop(pat);
+                if self.forensics.is_on() {
+                    let hit = self.pabs[core.index()].borrow().stats().hits > pab_hits_before;
+                    let lookup = if hit { "hit" } else { "miss" };
+                    self.forensics.link(rec, ready, || {
+                        format!("pab_lookup={lookup} store_ready={ready}")
+                    });
+                }
                 let inj = self.injector.as_mut().expect("fault path has injector");
                 match verdict {
                     crate::pab::PabVerdict::Violation => {
@@ -1385,6 +1493,13 @@ impl System {
                         let tel = inj.telemetry.site_mut(site);
                         tel.detected += 1;
                         tel.detection_latency.record(ready.saturating_sub(now));
+                        self.forensics.link(rec, ready, || {
+                            "pab_violation exception_before_l2".to_string()
+                        });
+                        self.forensics
+                            .detected(rec, "pab", Some(ready.saturating_sub(now)));
+                        self.forensics
+                            .note(now, || Event::PabDeny { core, page: page.0 });
                         self.tracer
                             .emit(now, || Event::PabDeny { core, page: page.0 });
                         self.tracer.emit(now, || Event::FaultMasked {
@@ -1399,6 +1514,10 @@ impl System {
                         self.fault_token_seq += 1;
                         let token = store_token(VcpuId(u16::MAX), line, self.fault_token_seq);
                         self.mem.store_commit(core, line, token, true, ready);
+                        self.forensics.link(rec, ready, || {
+                            format!("corruption_committed line={} page={}", line.0, page.0)
+                        });
+                        self.forensics.escaped(rec, vec![page.0]);
                     }
                 }
             }
@@ -1479,13 +1598,16 @@ impl System {
                     // A fingerprint mismatch caused by an injected fault:
                     // attribute the detection back to its injection for
                     // the campaign latency histogram.
-                    if let Some((injected_at, site)) = self.dmr_inject_pending[slot].pop_front() {
+                    if let Some((injected_at, site, rec)) =
+                        self.dmr_inject_pending[slot].pop_front()
+                    {
                         if let Some(inj) = self.injector.as_mut() {
                             inj.telemetry
                                 .site_mut(site)
                                 .detection_latency
                                 .record(detected_at.saturating_sub(injected_at));
                         }
+                        self.forensics.attribute_latency(rec, detected_at);
                     }
                 }
             }
@@ -1609,6 +1731,10 @@ impl System {
         for q in &mut self.dmr_inject_pending {
             q.clear();
         }
+        // Restart the forensics recorder: only faults injected during
+        // the measured window are reported (black-box rings are kept —
+        // context preceding an early escape is still valuable).
+        self.forensics.reset();
         // Restart the flight recorder: samples cover the measured
         // period only, with timestamps relative to its start.
         self.measure_start = self.cycle;
@@ -1636,6 +1762,7 @@ impl System {
         report.wall_seconds = wall;
         report.series = self.sampler.series();
         report.profile = self.profiler.report();
+        report.forensics = self.forensics.take_report();
         report
     }
 
@@ -1708,6 +1835,7 @@ impl System {
             fault_telemetry: self.injector.as_ref().map(|i| i.telemetry.clone()),
             series: None,
             profile: None,
+            forensics: None,
         }
     }
 
@@ -1719,6 +1847,17 @@ impl System {
     /// Read access to a core (tests).
     pub fn core(&self, id: CoreId) -> &Core {
         &self.cores[id.index()]
+    }
+
+    /// The `(vocal, mute)` cores of the first live DMR pair, if any
+    /// (in-crate tests that drive `apply_fault` directly).
+    #[cfg(test)]
+    pub(crate) fn first_pair_cores(&self) -> Option<(CoreId, CoreId)> {
+        self.pairs
+            .iter()
+            .flatten()
+            .next()
+            .map(|p| (p.vocal(), p.mute()))
     }
 
     /// Read access to the memory system (tests).

@@ -22,10 +22,10 @@
 
 use mmm_mem::request::store_token;
 use mmm_mem::{MemorySystem, Source};
-use mmm_trace::{Event, ProfPhase, Profiler, Tracer};
+use mmm_trace::{Event, Forensics, ProfPhase, Profiler, Tracer};
 use mmm_types::config::{Consistency, SystemConfig};
 use mmm_types::fastmap::FastMap;
-use mmm_types::{CoreId, Cycle, LineAddr, VcpuId};
+use mmm_types::{CoreId, Cycle, LineAddr, PageAddr, VcpuId};
 use mmm_workload::{MicroOp, OpClass, Privilege};
 use std::collections::VecDeque;
 
@@ -162,6 +162,7 @@ pub struct Core {
     stats: CoreStats,
     tracer: Tracer,
     profiler: Profiler,
+    forensics: Forensics,
 }
 
 impl Core {
@@ -210,6 +211,7 @@ impl Core {
             stats: CoreStats::new(),
             tracer: Tracer::off(),
             profiler: Profiler::off(),
+            forensics: Forensics::off(),
         }
     }
 
@@ -228,6 +230,14 @@ impl Core {
             ctx.set_profiler(profiler.clone());
         }
         self.profiler = profiler;
+    }
+
+    /// Installs a fault-forensics handle. When on, the core stamps
+    /// its pipeline landmarks (serialization stalls, phase
+    /// boundaries) into a per-core black-box ring that an escaped
+    /// fault's record dumps. Off by default: one branch per site.
+    pub fn set_forensics(&mut self, forensics: Forensics) {
+        self.forensics = forensics;
     }
 
     /// This core's identifier.
@@ -403,6 +413,17 @@ impl Core {
     pub fn tlb_mut(&mut self) -> &mut Tlb {
         self.wake_now();
         &mut self.tlb
+    }
+
+    /// Whether a translation is resident in this core's TLB. Purely
+    /// observational (no MRU/stat side effects) — forensics context.
+    pub fn tlb_resident(&self, page: PageAddr) -> bool {
+        self.tlb.contains(page)
+    }
+
+    /// Resident translation count in this core's TLB (forensics).
+    pub fn tlb_occupancy(&self) -> u32 {
+        self.tlb.occupancy()
     }
 
     /// Accumulated counters.
@@ -744,6 +765,10 @@ impl Core {
                     core: id,
                     cycles: resume as u64,
                 });
+                self.forensics.note(now, || Event::SiStall {
+                    core: id,
+                    cycles: resume as u64,
+                });
             }
             _ => {}
         }
@@ -764,6 +789,12 @@ impl Core {
                 core: id,
                 vcpu,
                 to_os: slot.op.enters_os,
+            });
+            let to_os = slot.op.enters_os;
+            self.forensics.note(now, || Event::PhaseBoundary {
+                core: id,
+                vcpu,
+                to_os,
             });
         }
     }

@@ -174,6 +174,11 @@ impl Tlb {
         self.index.contains_key(&page)
     }
 
+    /// Number of resident translations (diagnostics/forensics).
+    pub fn occupancy(&self) -> u32 {
+        self.occupied
+    }
+
     /// Hit count.
     pub fn hits(&self) -> u64 {
         self.hits

@@ -18,7 +18,7 @@ use std::rc::Rc;
 
 use mmm_cpu::{Core, ExecContext, Gate, PairGate};
 use mmm_mem::MemorySystem;
-use mmm_trace::{Event, ProfPhase, Profiler, Tracer};
+use mmm_trace::{Event, Forensics, ProfPhase, Profiler, Tracer};
 use mmm_types::config::ReunionConfig;
 use mmm_types::{CoreId, Cycle};
 
@@ -35,6 +35,9 @@ pub struct DmrPair {
     tracer: Tracer,
     /// Self-profiler handle; one branch per service call when off.
     profiler: Profiler,
+    /// Fault-forensics handle; mismatches land in the vocal core's
+    /// black-box ring. One branch per service call when off.
+    forensics: Forensics,
 }
 
 impl DmrPair {
@@ -71,6 +74,7 @@ impl DmrPair {
             dirty,
             tracer: Tracer::off(),
             profiler: Profiler::off(),
+            forensics: Forensics::off(),
         }
     }
 
@@ -84,6 +88,12 @@ impl DmrPair {
     /// host cost to [`ProfPhase::Pair`]. Purely observational.
     pub fn set_profiler(&mut self, profiler: Profiler) {
         self.profiler = profiler;
+    }
+
+    /// Installs a fault-forensics handle: serviced fingerprint
+    /// mismatches are stamped into the vocal core's black-box ring.
+    pub fn set_forensics(&mut self, forensics: Forensics) {
+        self.forensics = forensics;
     }
 
     /// The vocal core's id.
@@ -147,6 +157,11 @@ impl DmrPair {
         let mut fault_detects = Vec::new();
         for (at, cause) in mismatches {
             self.tracer.emit(at, || Event::CheckMismatch {
+                vocal: self.vocal,
+                mute: self.mute,
+                cause,
+            });
+            self.forensics.note(at, || Event::CheckMismatch {
                 vocal: self.vocal,
                 mute: self.mute,
                 cause,

@@ -13,6 +13,7 @@
 use mmm_types::CoreId;
 
 use crate::event::{Event, SchedAction, TraceRecord};
+use crate::forensics::{FaultRecord, FaultVerdict};
 use crate::json::Json;
 use crate::sampler::MetricsSeries;
 
@@ -38,6 +39,71 @@ pub fn chrome_trace_with_counters(
     let mut events = base_events(records, num_cores, end);
     events.extend(series.counter_events());
     render_trace(events)
+}
+
+/// Like [`chrome_trace_with_counters`], but additionally appends the
+/// per-fault forensics spans ([`forensics_span_events`]) after the
+/// counter tracks. With no records and an empty series this
+/// degenerates byte-for-byte to [`chrome_trace`].
+pub fn chrome_trace_full(
+    records: &[TraceRecord],
+    num_cores: usize,
+    end: u64,
+    series: &MetricsSeries,
+    faults: &[FaultRecord],
+) -> String {
+    let mut events = base_events(records, num_cores, end);
+    events.extend(series.counter_events());
+    events.extend(forensics_span_events(faults, num_cores));
+    render_trace(events)
+}
+
+/// Builds the per-fault forensics track: one async begin/end span per
+/// injection record, from injection to verdict, colored by outcome
+/// (detected green, masked grey, escaped red, pending orange). The
+/// spans live on a dedicated "faults" thread after the per-core
+/// tracks and are *appended* to a base trace by the export harness —
+/// only when forensics is enabled — so the default trace document
+/// stays byte-identical.
+pub fn forensics_span_events(records: &[FaultRecord], num_cores: usize) -> Vec<Json> {
+    if records.is_empty() {
+        return Vec::new();
+    }
+    let tid = num_cores as u64 * 2;
+    let mut events = Vec::with_capacity(records.len() * 2 + 1);
+    events.push(meta_thread_name(tid, "faults"));
+    for r in records {
+        let cname = match &r.verdict {
+            FaultVerdict::Detected { .. } => "good",
+            FaultVerdict::Masked { .. } => "grey",
+            FaultVerdict::Escaped { .. } => "terrible",
+            FaultVerdict::Pending { .. } => "bad",
+        };
+        let name = format!("{} #{}", r.site, r.id);
+        let common = |ph: &'static str, ts: u64| {
+            Json::obj([
+                ("name", Json::str(name.clone())),
+                ("cat", Json::str("fault")),
+                ("ph", Json::str(ph)),
+                ("id", Json::U64(r.id)),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(tid)),
+                ("ts", Json::U64(ts)),
+                ("cname", Json::str(cname)),
+                (
+                    "args",
+                    Json::obj([
+                        ("core", Json::U64(r.core.0 as u64)),
+                        ("mode", Json::str(r.mode)),
+                        ("verdict", Json::str(r.verdict.label())),
+                    ]),
+                ),
+            ])
+        };
+        events.push(common("b", r.at));
+        events.push(common("e", r.resolved_at().max(r.at)));
+    }
+    events
 }
 
 /// Wraps the event list in the trace-document envelope.
@@ -333,5 +399,45 @@ mod tests {
         // Empty series degenerates to the plain trace.
         let empty = chrome_trace_with_counters(&records, 2, 10, &MetricsSeries::default());
         assert_eq!(empty, plain);
+    }
+
+    #[test]
+    fn forensics_spans_extend_without_perturbing_the_base() {
+        use crate::forensics::{FaultRecord, FaultVerdict};
+
+        let records = vec![rec(
+            0,
+            5,
+            Event::PabDeny {
+                core: CoreId(1),
+                page: 77,
+            },
+        )];
+        let faults = vec![FaultRecord {
+            id: 0,
+            at: 5,
+            core: CoreId(1),
+            site: "tlb_permission",
+            mode: "perf",
+            chain: Vec::new(),
+            verdict: FaultVerdict::Detected {
+                by: "pab",
+                latency: Some(12),
+            },
+        }];
+        let plain = chrome_trace(&records, 2, 10);
+        let with = chrome_trace_full(&records, 2, 10, &MetricsSeries::default(), &faults);
+        assert!(with.contains("\"ph\":\"b\""), "{with}");
+        assert!(with.contains("\"ph\":\"e\""), "{with}");
+        assert!(with.contains("\"cname\":\"good\""), "{with}");
+        assert!(
+            with.contains("\"tid\":4"),
+            "faults track sits past the core tracks"
+        );
+        let plain_events = plain.trim_end_matches("],\"displayTimeUnit\":\"ns\"}");
+        assert!(with.starts_with(plain_events), "base events must match");
+        // No records: byte-identical to the plain trace.
+        let none = chrome_trace_full(&records, 2, 10, &MetricsSeries::default(), &[]);
+        assert_eq!(none, plain);
     }
 }

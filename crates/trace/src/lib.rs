@@ -20,6 +20,12 @@
 //!   wheel/skip introspection counters, exportable as a `profile`
 //!   JSON section or a speedscope file. Off by default; one branch
 //!   per probe when off, and purely observational when on.
+//! * **Fault forensics** — a [`Forensics`] recorder giving every
+//!   injected fault a causal lifecycle record ([`FaultRecord`]):
+//!   injection site/core/mode, the chain of architectural effects,
+//!   the terminal verdict, and — on an escape — a black-box dump of
+//!   the struck core's recent events. Off by default and free when
+//!   off; exported as `*.faults.jsonl` and Perfetto async spans.
 //! * **Exporters** — a hand-rolled [`json`] serializer (the build is
 //!   offline; no serde) feeding [`chrome_trace`] (Perfetto-viewable
 //!   per-core timelines) and JSONL report lines.
@@ -42,6 +48,7 @@
 pub mod aggregate;
 pub mod chrome;
 pub mod event;
+pub mod forensics;
 pub mod json;
 pub mod metrics;
 pub mod profile;
@@ -49,8 +56,13 @@ pub mod sampler;
 pub mod sink;
 
 pub use aggregate::{registry_from_json, registry_to_json};
-pub use chrome::{chrome_trace, chrome_trace_with_counters};
+pub use chrome::{
+    chrome_trace, chrome_trace_full, chrome_trace_with_counters, forensics_span_events,
+};
 pub use event::{Event, SchedAction, TraceRecord, TransitionKind};
+pub use forensics::{
+    ChainLink, FaultRecord, FaultVerdict, Forensics, ForensicsReport, FORENSICS_WINDOW,
+};
 pub use json::Json;
 pub use metrics::MetricsRegistry;
 pub use profile::{ProfPhase, ProfScope, ProfileReport, Profiler};

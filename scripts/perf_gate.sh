@@ -7,6 +7,8 @@
 # three times. Controlled by the same variables as before:
 #   MMM_PERF_GATE=off            skip the gate entirely
 #   MMM_PERF_GATE_THRESHOLD=0.30 allow a larger regression
+#   MMM_BLESS=1                  regenerate the baselines and skip the
+#                                diff (commit the updated BENCH_*.json)
 set -euo pipefail
 
 if [ "${MMM_PERF_GATE:-on}" = "off" ]; then
@@ -25,6 +27,11 @@ done
 cargo run --release -p mmm-bench --bin perf_smoke
 cargo run --release -p mmm-bench --bin perf_fault_smoke
 python3 scripts/validate_bench.py "${BASELINES[@]}"
+
+if [ "${MMM_BLESS:-0}" = "1" ]; then
+  echo "perf baselines re-blessed (MMM_BLESS=1); commit the updated BENCH_*.json"
+  exit 0
+fi
 
 for f in "${BASELINES[@]}"; do
   cargo run --release -p mmm-bench --bin mmm-inspect -- \

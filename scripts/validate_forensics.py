@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Validate a fault-forensics export against its main report export.
+
+Usage::
+
+    validate_forensics.py <bin>.faults.jsonl <bin>.jsonl
+
+The faults file (written under ``MMM_FORENSICS=1``) is a sequence of
+run groups: one ``{"kind": "mmm-faults-run", ...}`` header whose
+``run`` field names the index of the paired report line in the main
+JSONL export, followed by exactly ``records`` fault-record lines.
+
+Checks, per the forensics contract:
+
+* **Schema** — every record line carries exactly the fixed key set
+  (``kind, run, id, at, core, site, mode, verdict, latency, reason,
+  pages, chain, blackbox``); no optional keys, ``null`` where a field
+  does not apply.
+* **Verdict exhaustiveness** — every record lands on one of the six
+  terminal labels; ``latency`` is non-null only on ``detected_by_*``
+  records, ``reason`` only on ``masked``/``pending``.
+* **Counter consistency** — per run and per site, the (site, verdict)
+  sums reproduce the ``fault.site.<site>.{injected,detected,masked,
+  escaped}`` counters in the paired report's metrics registry, and the
+  number of records carrying a latency equals the
+  ``fault.site.<site>.detection_latency_cycles`` histogram count.
+* **Escape evidence** — every ``escaped`` record names at least one
+  corrupted page and a non-empty black-box window; no other verdict
+  carries either.
+
+Exits non-zero (failing CI) on any violation. Stdlib only.
+"""
+
+import json
+import sys
+
+RECORD_KEYS = {
+    "kind", "run", "id", "at", "core", "site", "mode", "verdict",
+    "latency", "reason", "pages", "chain", "blackbox",
+}
+HEADER_KEYS = {"kind", "run", "config", "benchmark", "scheduler", "records"}
+SITES = {"core_logic", "tlb_permission", "priv_reg"}
+DETECTED = {"detected_by_dmr", "detected_by_pab", "detected_by_enter_dmr"}
+VERDICTS = DETECTED | {"masked", "escaped", "pending"}
+MODES = {"dmr_vocal", "dmr_mute", "idle", "perf"}
+
+
+def fail(msg: str) -> None:
+    print(f"validate_forensics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_jsonl(path: str) -> list:
+    try:
+        with open(path, encoding="utf-8") as f:
+            return [json.loads(l) for l in f if l.strip()]
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def check_record(where: str, rec: dict) -> None:
+    if rec.keys() != RECORD_KEYS:
+        extra = sorted(rec.keys() - RECORD_KEYS)
+        missing = sorted(RECORD_KEYS - rec.keys())
+        fail(f"{where}: schema drift (extra {extra}, missing {missing})")
+    if rec["site"] not in SITES:
+        fail(f"{where}: unknown site {rec['site']!r}")
+    if rec["mode"] not in MODES:
+        fail(f"{where}: unknown mode {rec['mode']!r}")
+    verdict = rec["verdict"]
+    if verdict not in VERDICTS:
+        fail(f"{where}: verdict {verdict!r} is not one of {sorted(VERDICTS)}")
+    for key in ("run", "id", "at", "core"):
+        v = rec[key]
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(f"{where}: {key} must be a non-negative integer")
+    latency = rec["latency"]
+    if latency is not None:
+        if verdict not in DETECTED:
+            fail(f"{where}: {verdict} record carries a latency")
+        if not isinstance(latency, int) or isinstance(latency, bool) or latency < 0:
+            fail(f"{where}: latency must be null or a non-negative integer")
+    reason = rec["reason"]
+    if (reason is not None) != (verdict in ("masked", "pending")):
+        fail(f"{where}: reason must be set iff masked/pending (verdict {verdict})")
+    if not isinstance(rec["chain"], list):
+        fail(f"{where}: chain must be an array")
+    for link in rec["chain"]:
+        if not isinstance(link, dict) or link.keys() != {"at", "what"}:
+            fail(f"{where}: malformed chain link {link!r}")
+    pages, blackbox = rec["pages"], rec["blackbox"]
+    if not isinstance(pages, list) or not isinstance(blackbox, list):
+        fail(f"{where}: pages/blackbox must be arrays")
+    if verdict == "escaped":
+        if not pages:
+            fail(f"{where}: escaped record names no corrupted pages")
+        if not blackbox:
+            fail(f"{where}: escaped record has an empty black-box window")
+        for ev in blackbox:
+            if not isinstance(ev, dict) or not {"seq", "at", "name"} <= ev.keys():
+                fail(f"{where}: malformed black-box entry {ev!r}")
+    elif pages or blackbox:
+        fail(f"{where}: {verdict} record carries escape evidence")
+
+
+def check_counters(path: str, run: int, report: dict, records: list) -> int:
+    """Cross-checks one run's records against ``fault.site.*``.
+
+    Returns the number of latency observations verified.
+    """
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(f"report line {run}: no metrics registry")
+    counters = metrics.get("counters", {})
+    histograms = metrics.get("histograms", {})
+    checked = 0
+    for site in SITES:
+        mine = [r for r in records if r["site"] == site]
+        tally = {
+            "injected": len(mine),
+            "detected": sum(r["verdict"] in DETECTED for r in mine),
+            "masked": sum(r["verdict"] == "masked" for r in mine),
+            "escaped": sum(r["verdict"] == "escaped" for r in mine),
+        }
+        for what, n in tally.items():
+            have = counters.get(f"fault.site.{site}.{what}", 0)
+            if have != n:
+                fail(
+                    f"{path}: run {run}: {site}: records say {what}={n} "
+                    f"but fault.site.{site}.{what}={have}"
+                )
+        with_latency = sum(r["latency"] is not None for r in mine)
+        hist = histograms.get(f"fault.site.{site}.detection_latency_cycles")
+        hist_count = hist.get("count", 0) if isinstance(hist, dict) else 0
+        if with_latency != hist_count:
+            fail(
+                f"{path}: run {run}: {site}: {with_latency} records carry a "
+                f"latency but the detection_latency_cycles histogram "
+                f"counts {hist_count}"
+            )
+        checked += with_latency
+    return checked
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <bin>.faults.jsonl <bin>.jsonl")
+    faults_path, report_path = sys.argv[1], sys.argv[2]
+    lines = load_jsonl(faults_path)
+    reports = [l for l in load_jsonl(report_path) if isinstance(l, dict)]
+    if not lines:
+        fail(f"{faults_path}: empty file (did the bin run with MMM_FORENSICS=1?)")
+
+    runs = 0
+    total_records = 0
+    latencies = 0
+    escaped = 0
+    i = 0
+    while i < len(lines):
+        header = lines[i]
+        if header.get("kind") != "mmm-faults-run":
+            fail(f"{faults_path}: line {i + 1}: expected a run header")
+        if header.keys() != HEADER_KEYS:
+            fail(f"{faults_path}: line {i + 1}: malformed header keys")
+        run, count = header["run"], header["records"]
+        if not isinstance(run, int) or not (0 <= run < len(reports)):
+            fail(
+                f"{faults_path}: line {i + 1}: run {run!r} has no paired "
+                f"report line in {report_path} ({len(reports)} lines)"
+            )
+        report = reports[run]
+        for key in ("config", "benchmark", "scheduler"):
+            if header[key] != report.get(key):
+                fail(
+                    f"{faults_path}: run {run}: header {key}="
+                    f"{header[key]!r} but report says {report.get(key)!r}"
+                )
+        records = lines[i + 1 : i + 1 + count]
+        if len(records) != count:
+            fail(f"{faults_path}: run {run}: header promises {count} records, "
+                 f"file ends after {len(records)}")
+        for j, rec in enumerate(records):
+            where = f"{faults_path}: run {run} record {j}"
+            if not isinstance(rec, dict) or rec.get("kind") != "fault":
+                fail(f"{where}: expected a fault record line")
+            check_record(where, rec)
+            if rec["run"] != run:
+                fail(f"{where}: record run {rec['run']} != header run {run}")
+        latencies += check_counters(faults_path, run, report, records)
+        escaped += sum(r["verdict"] == "escaped" for r in records)
+        total_records += count
+        runs += 1
+        i += 1 + count
+
+    print(
+        f"validate_forensics: OK: {runs} run(s), {total_records} fault "
+        f"record(s), {latencies} latency observation(s), {escaped} escape(s) "
+        f"with black-box evidence"
+    )
+
+
+if __name__ == "__main__":
+    main()
